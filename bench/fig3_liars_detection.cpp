@@ -1,0 +1,47 @@
+// Figure 3 — "Impact of liars on the detection": the Eq. 8 investigation
+// result over 25 rounds for increasing liar ratios. The paper's shape: the
+// more liars, the slower the descent, but by round 10 the result is below
+// -0.4 even at 43.2% liars, and all ratios converge strongly negative as
+// liar trust fades to nothing.
+
+#include <cstdio>
+
+#include "scenario/trust_experiment.hpp"
+#include "stats/time_series.hpp"
+
+using namespace manet;
+
+int main() {
+  stats::TimeSeries series;
+
+  // Liar counts out of the 14 verifiers: ~7%, ~26% (the paper's headline
+  // ratio) and ~43%.
+  const struct {
+    std::size_t liars;
+    const char* label;
+  } sweeps[] = {{1, "7.1%_liars"}, {4, "28.6%_liars"}, {6, "42.9%_liars"}};
+
+  for (const auto& sweep : sweeps) {
+    scenario::TrustExperiment::Config cfg;
+    cfg.seed = 3;
+    cfg.num_nodes = 16;
+    cfg.num_liars = sweep.liars;
+    scenario::TrustExperiment exp{cfg};
+    exp.setup();
+    for (int round = 1; round <= 25; ++round) {
+      const auto snap = exp.run_round();
+      series.add(sweep.label, round, snap.detect);
+    }
+  }
+
+  std::printf(
+      "Figure 3 — Impact of liars on the detection (Eq. 8 investigation "
+      "result per round)\n\n%s\n",
+      series.to_table("round").c_str());
+  std::printf(
+      "paper shape: below -0.4 by round 10 even with ~43%% liars; converges "
+      "strongly negative\nfor every ratio as liar trust fades (the paper "
+      "reports ~-0.8; here liars bottom out at\ntrust 0 so the result "
+      "approaches -1).\n");
+  return 0;
+}

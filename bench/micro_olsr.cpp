@@ -1,0 +1,117 @@
+// Micro-benchmarks of the OLSR substrate: MPR selection, routing-table
+// computation, wire (de)serialization and audit-log parsing throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "logging/format.hpp"
+#include "olsr/mpr_selection.hpp"
+#include "olsr/routing_table.hpp"
+#include "olsr/wire.hpp"
+#include "sim/rng.hpp"
+
+using namespace manet;
+using olsr::NodeId;
+
+namespace {
+
+olsr::MprInputs random_mpr_inputs(std::size_t n1, std::size_t n2,
+                                  std::uint64_t seed) {
+  sim::Rng rng{seed};
+  olsr::MprInputs in;
+  for (std::size_t i = 1; i <= n1; ++i)
+    in.neighbors[NodeId{static_cast<std::uint32_t>(i)}] =
+        olsr::Willingness::kDefault;
+  for (std::size_t j = 0; j < n2; ++j) {
+    const NodeId two_hop{static_cast<std::uint32_t>(1000 + j)};
+    const auto providers = rng.uniform_int(1, static_cast<std::int64_t>(n1));
+    for (std::int64_t k = 0; k < providers; ++k) {
+      const NodeId via{static_cast<std::uint32_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(n1)))};
+      in.reach[via].insert(two_hop);
+    }
+  }
+  return in;
+}
+
+olsr::KnowledgeGraph random_graph(std::size_t nodes, std::size_t degree,
+                                  std::uint64_t seed) {
+  sim::Rng rng{seed};
+  olsr::KnowledgeGraph g;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    for (std::size_t d = 0; d < degree; ++d) {
+      const auto j = static_cast<std::uint32_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
+      if (j == i) continue;
+      g[NodeId{static_cast<std::uint32_t>(i)}].insert(NodeId{j});
+      g[NodeId{j}].insert(NodeId{static_cast<std::uint32_t>(i)});
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+static void BM_MprSelection(benchmark::State& state) {
+  const auto in = random_mpr_inputs(static_cast<std::size_t>(state.range(0)),
+                                    static_cast<std::size_t>(state.range(1)),
+                                    42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(olsr::select_mprs(in));
+  }
+}
+BENCHMARK(BM_MprSelection)->Args({8, 20})->Args({16, 60})->Args({32, 200});
+
+static void BM_RoutingRecompute(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 4, 7);
+  olsr::RoutingTable rt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.recompute(NodeId{0}, g));
+  }
+}
+BENCHMARK(BM_RoutingRecompute)->Arg(16)->Arg(64)->Arg(256);
+
+static void BM_ShortestPathAvoiding(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 4, 7);
+  const std::set<NodeId> avoid{NodeId{1}, NodeId{2}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(olsr::RoutingTable::shortest_path(
+        g, NodeId{0}, NodeId{static_cast<std::uint32_t>(state.range(0) - 1)},
+        avoid));
+  }
+}
+BENCHMARK(BM_ShortestPathAvoiding)->Arg(64)->Arg(256);
+
+static void BM_HelloSerializeParse(benchmark::State& state) {
+  olsr::HelloMessage h;
+  for (std::uint32_t i = 0; i < 16; ++i)
+    h.add(olsr::LinkType::kSym, olsr::NeighborType::kSymNeigh, NodeId{i});
+  olsr::Message m;
+  m.header.type = olsr::MessageType::kHello;
+  m.header.originator = NodeId{0};
+  m.body = h;
+  olsr::OlsrPacket p;
+  p.messages.push_back(m);
+  for (auto _ : state) {
+    const auto bytes = olsr::serialize_packet(p);
+    benchmark::DoNotOptimize(olsr::parse_packet(bytes));
+  }
+}
+BENCHMARK(BM_HelloSerializeParse);
+
+static void BM_LogParse(benchmark::State& state) {
+  std::string text;
+  for (int i = 0; i < 1000; ++i) {
+    logging::LogRecord r;
+    r.time = sim::Time::from_us(i * 1000);
+    r.node = net::NodeId{3};
+    r.event = "hello_recv";
+    r.with("from", net::NodeId{5}).with("sym", "n1|n2|n4|n7");
+    text += logging::format_record(r);
+    text += '\n';
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logging::parse_log(text));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LogParse);

@@ -1,0 +1,75 @@
+// Micro-benchmarks of the trust system: Eq. 5 updates, Eq. 8 aggregation,
+// the entropy mapping and the inverse-normal quantile behind Eq. 9.
+
+#include <benchmark/benchmark.h>
+
+#include "stats/entropy.hpp"
+#include "stats/normal.hpp"
+#include "trust/detection.hpp"
+#include "trust/trust_store.hpp"
+
+using namespace manet;
+
+static void BM_TrustUpdate(benchmark::State& state) {
+  trust::TrustStore store;
+  const auto ev = trust::lie_evidence(0.3);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.apply_evidence(net::NodeId{i++ % 64}, ev));
+  }
+}
+BENCHMARK(BM_TrustUpdate);
+
+static void BM_AggregateDetection(benchmark::State& state) {
+  std::vector<trust::WeightedAnswer> answers;
+  for (int i = 0; i < state.range(0); ++i)
+    answers.push_back({net::NodeId{static_cast<std::uint32_t>(i)}, 0.5,
+                       i % 3 == 0 ? 1.0 : -1.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trust::aggregate_detection(answers));
+  }
+}
+BENCHMARK(BM_AggregateDetection)->Arg(16)->Arg(128)->Arg(1024);
+
+static void BM_Decide(benchmark::State& state) {
+  std::vector<trust::WeightedAnswer> answers;
+  for (int i = 0; i < 64; ++i)
+    answers.push_back({net::NodeId{static_cast<std::uint32_t>(i)}, 0.5,
+                       i % 4 == 0 ? 1.0 : -1.0});
+  const trust::DecisionConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trust::decide(answers, cfg));
+  }
+}
+BENCHMARK(BM_Decide);
+
+static void BM_EntropyTrust(benchmark::State& state) {
+  double p = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::entropy_trust(p));
+    p += 0.001;
+    if (p >= 1.0) p = 0.001;
+  }
+}
+BENCHMARK(BM_EntropyTrust);
+
+static void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::normal_quantile(p));
+    p += 0.001;
+    if (p >= 1.0) p = 0.001;
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+static void BM_RecommendationTrust(benchmark::State& state) {
+  trust::TrustStore store;
+  for (int i = 0; i < 50; ++i)
+    store.record_interaction(net::NodeId{1}, i % 3 != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.recommendation_trust(net::NodeId{1}));
+  }
+}
+BENCHMARK(BM_RecommendationTrust);

@@ -1,0 +1,70 @@
+// Table C — impact of mobility on detection (the paper's stated future
+// work): random-waypoint speeds vs whether/when the phantom link spoofer is
+// convicted, plus how often investigations time out because verifiers moved
+// out of reach.
+
+#include <cstdio>
+
+#include "attacks/link_spoofing.hpp"
+#include "net/mobility.hpp"
+#include "net/topology.hpp"
+#include "scenario/network.hpp"
+
+using namespace manet;
+using scenario::Network;
+
+int main() {
+  std::printf(
+      "Table C — detection under random-waypoint mobility (16 nodes, "
+      "phantom spoofer, 120 s)\n\n");
+  std::printf("%-12s %-12s %-16s %-12s %-12s\n", "speed_mps", "convicted",
+              "latency_s", "reports", "timeouts");
+
+  for (double speed : {0.0, 1.0, 2.0, 5.0}) {
+    Network::Config c;
+    c.seed = 21;
+    c.radio.range_m = 200.0;
+    c.positions = net::grid_layout(16, 90.0);
+    Network net{c};
+
+    net.set_hooks(5, std::make_unique<attacks::LinkSpoofingAttack>(
+                         attacks::LinkSpoofingAttack::Mode::kAddNonExistent,
+                         std::set<net::NodeId>{net::NodeId{999}}));
+    if (speed > 0.0) {
+      net::RandomWaypoint::Config mc;
+      mc.area_width = 3 * 90.0;
+      mc.area_height = 3 * 90.0;
+      mc.speed_min_mps = speed * 0.5;
+      mc.speed_max_mps = speed;
+      for (std::size_t i = 0; i < 16; ++i) {
+        net.set_mobility(i, std::make_unique<net::RandomWaypoint>(
+                                net.medium().position(Network::id_of(i)), mc));
+      }
+    }
+
+    auto& detector = net.add_detector(0);
+    net.start_all();
+    net.run_for(sim::Duration::from_seconds(25.0));
+    detector.start();
+    const double t0 = net.sim().now().seconds();
+    net.run_for(sim::Duration::from_seconds(120.0));
+
+    double latency = -1.0;
+    std::size_t timeouts = 0;
+    for (const auto& r : detector.reports()) {
+      timeouts += r.timeouts;
+      if (latency < 0 && r.verdict == trust::Verdict::kIntruder &&
+          r.suspect == Network::id_of(5))
+        latency = r.time.seconds() - t0;
+    }
+    std::printf("%-12.1f %-12s %-16.1f %-12zu %-12zu\n", speed,
+                latency >= 0 ? "yes" : "no", latency,
+                detector.reports().size(), timeouts);
+  }
+
+  std::printf(
+      "\nshape: detection survives moderate mobility; higher speeds add "
+      "answer timeouts and\nlengthen (or prevent) conviction as the "
+      "evidence pool churns.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Table D — ablation of the confidence-interval gate (Eq. 9/10, the paper's
+// §IV-C contribution). We replay identical evidence pools with and without
+// the margin gate and count premature convictions of innocents in noisy
+// low-sample regimes, and how many samples each configuration needs before
+// convicting a real attacker.
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "trust/detection.hpp"
+
+using namespace manet;
+using trust::WeightedAnswer;
+
+namespace {
+
+// Draw n answers about an INNOCENT suspect in a noisy environment: honest
+// answers +1 but each flips with probability `noise` (collisions, stale
+// views).
+std::vector<WeightedAnswer> innocent_sample(int n, double noise,
+                                            sim::Rng& rng) {
+  std::vector<WeightedAnswer> out;
+  for (int i = 0; i < n; ++i) {
+    const double e = rng.bernoulli(noise) ? -1.0 : +1.0;
+    out.push_back({net::NodeId{static_cast<std::uint32_t>(i)}, 0.5, e});
+  }
+  return out;
+}
+
+std::vector<WeightedAnswer> guilty_sample(int n, double noise, sim::Rng& rng) {
+  auto out = innocent_sample(n, 1.0 - noise, rng);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kTrials = 2000;
+  sim::Rng rng{99};
+
+  std::printf(
+      "Table D — confidence-interval ablation (gamma=0.6, cl=0.95, %d "
+      "trials per cell)\n\n", kTrials);
+  std::printf("%-10s %-8s %-22s %-22s\n", "samples", "noise",
+              "false_convictions", "detections_of_guilty");
+  std::printf("%-10s %-8s %-11s %-11s %-11s %-11s\n", "", "", "gated",
+              "ungated", "gated", "ungated");
+
+  trust::DecisionConfig gated;
+  trust::DecisionConfig ungated;
+  ungated.use_confidence_interval = false;
+
+  for (int n : {4, 8, 16, 32}) {
+    for (double noise : {0.2, 0.35}) {
+      int false_gated = 0, false_ungated = 0;
+      int hit_gated = 0, hit_ungated = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        const auto innocent = innocent_sample(n, noise, rng);
+        if (trust::decide(innocent, gated).verdict ==
+            trust::Verdict::kIntruder)
+          ++false_gated;
+        if (trust::decide(innocent, ungated).verdict ==
+            trust::Verdict::kIntruder)
+          ++false_ungated;
+
+        const auto guilty = guilty_sample(n, noise, rng);
+        if (trust::decide(guilty, gated).verdict == trust::Verdict::kIntruder)
+          ++hit_gated;
+        if (trust::decide(guilty, ungated).verdict ==
+            trust::Verdict::kIntruder)
+          ++hit_ungated;
+      }
+      std::printf("%-10d %-8.2f %-11d %-11d %-11d %-11d\n", n, noise,
+                  false_gated, false_ungated, hit_gated, hit_ungated);
+    }
+  }
+
+  std::printf(
+      "\nshape: the Eq. 9 gate suppresses premature convictions at small n "
+      "(the paper's point)\nat the cost of needing more evidence before "
+      "convicting real intruders; the gap closes\nas n grows since eps ~ "
+      "1/sqrt(n).\n");
+  return 0;
+}

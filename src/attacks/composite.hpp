@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "olsr/hooks.hpp"
+
+namespace manet::attacks {
+
+/// Chains several hooks so one node can run multiple misbehaviours at once
+/// (e.g. link spoofing plus data-dropping, the paper's blackhole provision).
+/// Non-owning: the caller keeps the individual attacks alive.
+class CompositeHooks final : public olsr::AgentHooks {
+ public:
+  void add(olsr::AgentHooks& hooks) { chain_.push_back(&hooks); }
+
+  void on_build_hello(olsr::HelloMessage& hello) override {
+    for (auto* h : chain_) h->on_build_hello(hello);
+  }
+  void on_build_tc(olsr::TcMessage& tc) override {
+    for (auto* h : chain_) h->on_build_tc(tc);
+  }
+  bool should_forward(const olsr::Message& message) override {
+    for (auto* h : chain_)
+      if (!h->should_forward(message)) return false;
+    return true;
+  }
+  void on_forward(olsr::Message& message) override {
+    for (auto* h : chain_) h->on_forward(message);
+  }
+  bool should_relay_data(const olsr::DataMessage& data) override {
+    for (auto* h : chain_)
+      if (!h->should_relay_data(data)) return false;
+    return true;
+  }
+  void on_tick() override {
+    for (auto* h : chain_) h->on_tick();
+  }
+  void on_receive(const olsr::Message& message) override {
+    for (auto* h : chain_) h->on_receive(message);
+  }
+
+ private:
+  std::vector<olsr::AgentHooks*> chain_;
+};
+
+}  // namespace manet::attacks

@@ -1,0 +1,21 @@
+#include "attacks/drop.hpp"
+
+namespace manet::attacks {
+
+bool DropAttack::should_forward(const olsr::Message& message) {
+  (void)message;
+  if (!active_ || !drop_control_) return true;
+  if (!rng_.bernoulli(drop_probability_)) return true;
+  ++dropped_control_;
+  return false;
+}
+
+bool DropAttack::should_relay_data(const olsr::DataMessage& data) {
+  (void)data;
+  if (!active_ || !drop_data_) return true;
+  if (!rng_.bernoulli(drop_probability_)) return true;
+  ++dropped_data_;
+  return false;
+}
+
+}  // namespace manet::attacks

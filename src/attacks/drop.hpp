@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+
+#include "olsr/hooks.hpp"
+#include "sim/rng.hpp"
+
+namespace manet::attacks {
+
+/// Drop attacks (§II-B): a blackhole drops every message it should relay, a
+/// grayhole drops each with probability p. Both affect flooded control
+/// traffic and source-routed data (starving investigations of answers).
+class DropAttack final : public olsr::AgentHooks {
+ public:
+  /// drop_probability = 1.0 is a blackhole; anything lower a grayhole.
+  DropAttack(sim::Rng rng, double drop_probability,
+             bool drop_control = true, bool drop_data = true)
+      : rng_{rng},
+        drop_probability_{drop_probability},
+        drop_control_{drop_control},
+        drop_data_{drop_data} {}
+
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+
+  bool should_forward(const olsr::Message& message) override;
+  bool should_relay_data(const olsr::DataMessage& data) override;
+
+  std::uint64_t dropped_control() const { return dropped_control_; }
+  std::uint64_t dropped_data() const { return dropped_data_; }
+
+ private:
+  sim::Rng rng_;
+  double drop_probability_;
+  bool drop_control_;
+  bool drop_data_;
+  bool active_ = true;
+  std::uint64_t dropped_control_ = 0;
+  std::uint64_t dropped_data_ = 0;
+};
+
+}  // namespace manet::attacks

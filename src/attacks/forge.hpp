@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "olsr/agent.hpp"
+#include "olsr/hooks.hpp"
+
+namespace manet::attacks {
+
+/// Broadcast storm (§II-B "active forge"): on every emission tick the
+/// attacker injects a burst of forged TC messages, optionally masquerading
+/// as a spoofed originator, to exhaust bandwidth/energy.
+class StormAttack final : public olsr::AgentHooks {
+ public:
+  struct Config {
+    std::size_t messages_per_tick = 10;
+    /// Spoofed originator; invalid -> attacker's own identity.
+    olsr::NodeId spoofed_originator{};
+    /// Fake advertised neighbors carried in each forged TC.
+    std::vector<olsr::NodeId> advertised;
+  };
+
+  explicit StormAttack(Config config) : config_{std::move(config)} {}
+
+  /// The attack needs the agent to inject raw messages; bind after both are
+  /// constructed (the agent takes hooks in its constructor).
+  void bind(olsr::Agent& agent) { agent_ = &agent; }
+  void set_active(bool active) { active_ = active; }
+
+  void on_tick() override;
+
+  std::uint64_t forged_count() const { return forged_; }
+
+ private:
+  Config config_;
+  olsr::Agent* agent_ = nullptr;
+  bool active_ = true;
+  std::uint64_t forged_ = 0;
+  std::uint16_t fake_seq_ = 10'000;
+  std::uint16_t fake_ansn_ = 5'000;
+};
+
+/// Identity spoofing: periodically emits HELLOs whose originator field is a
+/// victim's address, advertising attacker-chosen neighbors (masquerade).
+class IdentitySpoofingAttack final : public olsr::AgentHooks {
+ public:
+  IdentitySpoofingAttack(olsr::NodeId victim,
+                         std::vector<olsr::NodeId> advertised)
+      : victim_{victim}, advertised_{std::move(advertised)} {}
+
+  void bind(olsr::Agent& agent) { agent_ = &agent; }
+  void set_active(bool active) { active_ = active; }
+
+  void on_tick() override;
+
+  std::uint64_t forged_count() const { return forged_; }
+
+ private:
+  olsr::NodeId victim_;
+  std::vector<olsr::NodeId> advertised_;
+  olsr::Agent* agent_ = nullptr;
+  bool active_ = true;
+  std::uint64_t forged_ = 0;
+  std::uint16_t fake_seq_ = 20'000;
+};
+
+/// Modify-and-forward: inflates the sequence numbers of relayed TC messages
+/// so receivers treat stale attacker-touched copies as the freshest route
+/// information (§II-B).
+class SequenceInflationAttack final : public olsr::AgentHooks {
+ public:
+  explicit SequenceInflationAttack(std::uint16_t inflation = 100)
+      : inflation_{inflation} {}
+
+  void set_active(bool active) { active_ = active; }
+  void on_forward(olsr::Message& message) override;
+
+  std::uint64_t tampered_count() const { return tampered_; }
+
+ private:
+  std::uint16_t inflation_;
+  bool active_ = true;
+  std::uint64_t tampered_ = 0;
+};
+
+/// Willingness manipulation: rewrites the HELLO willingness so the attacker
+/// is always (or never) selected as MPR (§II-B).
+class WillingnessAttack final : public olsr::AgentHooks {
+ public:
+  explicit WillingnessAttack(olsr::Willingness forced)
+      : forced_{forced} {}
+
+  void set_active(bool active) { active_ = active; }
+  void on_build_hello(olsr::HelloMessage& hello) override;
+
+ private:
+  olsr::Willingness forced_;
+  bool active_ = true;
+};
+
+}  // namespace manet::attacks

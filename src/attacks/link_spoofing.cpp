@@ -1,0 +1,39 @@
+#include "attacks/link_spoofing.hpp"
+
+#include <algorithm>
+
+namespace manet::attacks {
+
+void LinkSpoofingAttack::on_build_hello(olsr::HelloMessage& hello) {
+  if (!active_ || targets_.empty()) return;
+  bool touched = false;
+
+  switch (mode_) {
+    case Mode::kAddNonExistent:
+    case Mode::kAddExisting: {
+      // Advertise each target as a symmetric neighbor unless already there.
+      const auto current = hello.symmetric_neighbors();
+      for (auto target : targets_) {
+        if (std::find(current.begin(), current.end(), target) != current.end())
+          continue;
+        hello.add(olsr::LinkType::kSym, olsr::NeighborType::kSymNeigh, target);
+        touched = true;
+      }
+      break;
+    }
+    case Mode::kOmitNeighbor: {
+      for (auto& [code, addrs] : hello.link_groups) {
+        const auto before = addrs.size();
+        std::erase_if(addrs,
+                      [&](olsr::NodeId n) { return targets_.contains(n); });
+        touched = touched || addrs.size() != before;
+      }
+      std::erase_if(hello.link_groups,
+                    [](const auto& kv) { return kv.second.empty(); });
+      break;
+    }
+  }
+  if (touched) ++forged_;
+}
+
+}  // namespace manet::attacks

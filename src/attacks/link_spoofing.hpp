@@ -1,0 +1,48 @@
+#pragma once
+
+#include <set>
+
+#include "olsr/hooks.hpp"
+
+namespace manet::attacks {
+
+/// The paper's link spoofing attack (§III-A): the intruder forges the
+/// symmetric-neighbor list of its HELLOs. The three variants correspond to
+/// the paper's Expressions 1-3.
+class LinkSpoofingAttack final : public olsr::AgentHooks {
+ public:
+  enum class Mode {
+    /// Expression 1: declare a non-existing node as a symmetric neighbor,
+    /// guaranteeing the intruder is selected MPR (nobody else covers it).
+    kAddNonExistent,
+    /// Expression 2: declare an existing node — which is NOT a neighbor —
+    /// as symmetric, artificially raising connectivity (blackhole feeder).
+    kAddExisting,
+    /// Expression 3: omit a real symmetric neighbor, shrinking the
+    /// perceived connectivity of both ends.
+    kOmitNeighbor,
+  };
+
+  LinkSpoofingAttack(Mode mode, std::set<olsr::NodeId> targets)
+      : mode_{mode}, targets_{std::move(targets)} {}
+
+  void set_active(bool active) { active_ = active; }
+  bool active() const { return active_; }
+  Mode mode() const { return mode_; }
+
+  /// Nodes whose advertisement is forged (added or omitted per the mode).
+  const std::set<olsr::NodeId>& targets() const { return targets_; }
+
+  void on_build_hello(olsr::HelloMessage& hello) override;
+
+  /// Number of HELLOs actually tampered with.
+  std::uint64_t forged_count() const { return forged_; }
+
+ private:
+  Mode mode_;
+  std::set<olsr::NodeId> targets_;
+  bool active_ = true;
+  std::uint64_t forged_ = 0;
+};
+
+}  // namespace manet::attacks

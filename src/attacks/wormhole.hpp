@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "olsr/agent.hpp"
+#include "olsr/hooks.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet::attacks {
+
+/// Out-of-band tunnel shared by two colluding wormhole endpoints (§II-B
+/// "modify and forward"): one endpoint records control messages in its
+/// region, the other replays them verbatim in a distant region, corrupting
+/// topology views with stale/displaced information while both intruders
+/// keep the original identification fields (staying invisible).
+class WormholeChannel {
+ public:
+  explicit WormholeChannel(sim::Duration tunnel_delay)
+      : tunnel_delay_{tunnel_delay} {}
+
+  sim::Duration tunnel_delay() const { return tunnel_delay_; }
+
+  void push(olsr::Message message) { queue_.push_back(std::move(message)); }
+  bool empty() const { return queue_.empty(); }
+  olsr::Message pop() {
+    auto m = std::move(queue_.front());
+    queue_.pop_front();
+    return m;
+  }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  sim::Duration tunnel_delay_;
+  std::deque<olsr::Message> queue_;
+};
+
+/// One endpoint of a wormhole. In capture mode it records received TC/HELLO
+/// messages into the channel; in replay mode it re-broadcasts whatever the
+/// remote endpoint captured, after the tunnel delay.
+class WormholeEndpoint final : public olsr::AgentHooks {
+ public:
+  enum class Role { kCapture, kReplay };
+
+  WormholeEndpoint(sim::Simulator& sim, std::shared_ptr<WormholeChannel> chan,
+                   Role role)
+      : sim_{sim}, channel_{std::move(chan)}, role_{role} {}
+
+  void bind(olsr::Agent& agent) { agent_ = &agent; }
+  void set_active(bool active) { active_ = active; }
+
+  void on_receive(const olsr::Message& message) override;
+  void on_tick() override;
+
+  std::uint64_t captured_count() const { return captured_; }
+  std::uint64_t replayed_count() const { return replayed_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::shared_ptr<WormholeChannel> channel_;
+  Role role_;
+  olsr::Agent* agent_ = nullptr;
+  bool active_ = true;
+  std::uint64_t captured_ = 0;
+  std::uint64_t replayed_ = 0;
+};
+
+}  // namespace manet::attacks

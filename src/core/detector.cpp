@@ -1,0 +1,400 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+
+#include "core/signatures_olsr.hpp"
+#include "logging/format.hpp"
+
+namespace manet::core {
+
+std::string to_string(EvidenceTag tag) {
+  switch (tag) {
+    case EvidenceTag::kE1MprReplaced:
+      return "E1";
+    case EvidenceTag::kE2MprMisbehaving:
+      return "E2";
+    case EvidenceTag::kE3SoleProvider:
+      return "E3";
+    case EvidenceTag::kE4NotCoveringNeighbor:
+      return "E4";
+    case EvidenceTag::kE5AdvertisesNonNeighbor:
+      return "E5";
+    case EvidenceTag::kSignatureMatch:
+      return "SIG";
+    case EvidenceTag::kPeriodicCheck:
+      return "PERIODIC";
+  }
+  return "?";
+}
+
+Detector::Detector(sim::Simulator& sim, olsr::Agent& agent,
+                   InvestigationManager& investigations, DetectorConfig config)
+    : sim_{sim},
+      agent_{agent},
+      config_{config},
+      trust_{config.trust_params},
+      investigations_{investigations},
+      scan_timer_{sim, config.scan_interval, sim::Duration::from_ms(100),
+                  [this] { scan_once(); }} {
+  matcher_.add_signature(link_spoofing_claim_signature(config_.hello_window));
+  matcher_.add_signature(link_omission_signature(config_.hello_window));
+  matcher_.add_signature(
+      storm_signature(config_.storm_burst, config_.storm_window));
+  matcher_.add_signature(drop_signature(config_.fwd_timeout +
+                                        config_.scan_interval));
+  matcher_.add_signature(mpr_replacement_signature());
+}
+
+void Detector::start() {
+  if (running_) return;
+  running_ = true;
+  scan_timer_.start();
+}
+
+void Detector::stop() {
+  if (!running_) return;
+  running_ = false;
+  scan_timer_.stop();
+}
+
+bool Detector::in_cooldown(NodeId suspect, NodeId subject) const {
+  auto it = last_investigated_.find({suspect, subject});
+  return it != last_investigated_.end() &&
+         sim_.now() - it->second < config_.suspect_cooldown;
+}
+
+std::vector<NodeId> Detector::believed_neighbors_of(NodeId suspect) const {
+  // Log-derived: the freshest HELLO heard from the suspect names its
+  // advertised neighbors; any node whose HELLO lists the suspect is also a
+  // believed neighbor. Falls back to the 2-hop table exposed via logs.
+  std::set<NodeId> out;
+  const auto hellos = agent_.log().records_with_event("hello_recv");
+  std::map<NodeId, std::vector<NodeId>> latest_sym;
+  for (const auto& rec : hellos)
+    latest_sym[rec.node_field("from")] = rec.node_list_field("sym");
+
+  auto it = latest_sym.find(suspect);
+  if (it != latest_sym.end())
+    for (auto n : it->second) out.insert(n);
+  for (const auto& [from, sym] : latest_sym) {
+    if (from == suspect) continue;
+    if (std::find(sym.begin(), sym.end(), suspect) != sym.end())
+      out.insert(from);
+  }
+  out.erase(agent_.id());
+  out.erase(suspect);
+  return {out.begin(), out.end()};
+}
+
+std::size_t Detector::scan_once() {
+  // The IDS reads the daemon's log as *text*, like a real log analyzer.
+  const auto text = agent_.log().text_since(last_scan_);
+  last_scan_ = sim_.now();
+  auto records = logging::parse_log(text);
+
+  // Synthesize mpr_fwd_timeout records for E2 (drop) detection before
+  // feeding the matcher, so the drop signature can fire.
+  check_forward_timeouts(records);
+
+  std::size_t launched = 0;
+  process_records(records, launched);
+
+  // Periodic MPR audit (§III-B: non-event-driven cases are "handled by
+  // launching periodical/random checks"): cross-check every currently
+  // selected MPR's advertised links against independent local knowledge.
+  for (auto mpr : current_mprs_) {
+    for (auto x : find_disputed_links(mpr)) {
+      if (in_cooldown(mpr, x)) continue;
+      investigate_claim(mpr, x, /*claimed_up=*/true,
+                        {EvidenceTag::kPeriodicCheck});
+      ++launched;
+    }
+  }
+  return launched;
+}
+
+void Detector::check_forward_timeouts(
+    std::vector<logging::LogRecord>& synthesized) {
+  // Track our own TC emissions and which MPRs echoed them, purely from the
+  // log records that arrive.
+  for (const auto& rec : synthesized) {
+    if (rec.event == "mpr_changed") {
+      const auto mprs = rec.node_list_field("mprs");
+      current_mprs_ = {mprs.begin(), mprs.end()};
+    } else if (rec.event == "tc_sent") {
+      pending_tcs_.push_back(
+          SentTc{rec.time, rec.int_field("seq"), current_mprs_, {}});
+    } else if (rec.event == "own_fwd_heard") {
+      const auto seq = rec.int_field("seq");
+      for (auto& tc : pending_tcs_)
+        if (tc.seq == seq) tc.heard_from.insert(rec.node_field("by"));
+    }
+  }
+
+  const auto now = sim_.now();
+  while (!pending_tcs_.empty() &&
+         now - pending_tcs_.front().at >= config_.fwd_timeout) {
+    const auto tc = pending_tcs_.front();
+    pending_tcs_.pop_front();
+    for (auto mpr : tc.mprs_then) {
+      if (tc.heard_from.contains(mpr)) continue;
+      logging::LogRecord r;
+      r.time = now;
+      r.node = agent_.id();
+      r.event = "mpr_fwd_timeout";
+      r.with("mpr", mpr).with("seq", tc.seq);
+      synthesized.push_back(std::move(r));
+    }
+  }
+}
+
+void Detector::process_records(const std::vector<logging::LogRecord>& records,
+                               std::size_t& launched) {
+  const auto matches = matcher_.feed_all(records);
+
+  for (const auto& m : matches) {
+    if (m.signature == "link_spoofing_claim") {
+      // Records: [0] HELLO from suspect I claiming I-X, [1] HELLO from X.
+      const auto suspect = m.records[0].node_field("from");
+      const auto subject = m.records[1].node_field("from");
+      if (in_cooldown(suspect, subject)) continue;
+      investigate_claim(suspect, subject, /*claimed_up=*/true,
+                        {EvidenceTag::kSignatureMatch});
+      ++launched;
+    } else if (m.signature == "link_omission") {
+      const auto subject = m.records[0].node_field("from");  // claims link
+      const auto suspect = m.records[1].node_field("from");  // omits it
+      if (in_cooldown(suspect, subject)) continue;
+      investigate_claim(suspect, subject, /*claimed_up=*/false,
+                        {EvidenceTag::kSignatureMatch});
+      ++launched;
+    } else if (m.signature == "broadcast_storm") {
+      const auto suspect = net::NodeId::parse(m.correlated_value);
+      if (in_cooldown(suspect, agent_.id())) continue;
+      investigate_claim(suspect, agent_.id(), /*claimed_up=*/true,
+                        {EvidenceTag::kE2MprMisbehaving,
+                         EvidenceTag::kSignatureMatch});
+      ++launched;
+    } else if (m.signature == "mpr_drop") {
+      const auto suspect = m.records[1].node_field("mpr");
+      if (in_cooldown(suspect, agent_.id())) continue;
+      LinkQuery q;
+      q.kind = QueryKind::kForwarding;
+      q.suspect = suspect;
+      q.subject = agent_.id();
+      q.claimed_up = true;  // an MPR implicitly claims it forwards
+      auto verifiers = believed_neighbors_of(suspect);
+      last_investigated_[{suspect, agent_.id()}] = sim_.now();
+      investigations_.investigate(
+          q, std::move(verifiers),
+          [this, tags = std::vector<EvidenceTag>{
+                     EvidenceTag::kE2MprMisbehaving}](const RoundResult& r) {
+            on_round_complete(r, tags);
+          });
+      ++launched;
+    } else if (m.signature == "mpr_replacement") {
+      // E1: the MPR set gained a member — either a true replacement (the
+      // new MPR grew its coverage to the detriment of the replaced one) or
+      // a suspicious initial selection. Each added MPR's advertised links
+      // are cross-checked against *independent* local knowledge; only
+      // uncorroborated or contradicted links go to investigation.
+      const auto added = m.records[0].node_list_field("added");
+      for (auto suspect : added) {
+        for (auto x : find_disputed_links(suspect)) {
+          if (in_cooldown(suspect, x)) continue;
+          investigate_claim(suspect, x, /*claimed_up=*/true,
+                            {EvidenceTag::kE1MprReplaced});
+          ++launched;
+        }
+      }
+    }
+  }
+}
+
+std::vector<NodeId> Detector::find_disputed_links(NodeId suspect,
+                                                  std::size_t max_links) const {
+  // Freshest advertised neighbor list of the suspect, plus per-origin
+  // latest HELLO contents — all from the local log.
+  const auto hellos = agent_.log().records_with_event("hello_recv");
+  std::map<NodeId, std::vector<NodeId>> latest_sym;
+  for (const auto& rec : hellos)
+    latest_sym[rec.node_field("from")] = rec.node_list_field("sym");
+
+  auto it = latest_sym.find(suspect);
+  if (it == latest_sym.end()) return {};
+
+  // Nodes independently evidenced: heard directly, originated a TC, were
+  // advertised in a TC, or listed by a third party's HELLO.
+  std::set<NodeId> independent;
+  for (const auto& [from, sym] : latest_sym) {
+    independent.insert(from);
+    if (from == suspect) continue;
+    independent.insert(sym.begin(), sym.end());
+  }
+  for (const auto& rec : agent_.log().records_with_event("tc_recv")) {
+    independent.insert(rec.node_field("orig"));
+    if (rec.node_field("orig") == suspect) continue;
+    const auto adv = rec.node_list_field("adv");
+    independent.insert(adv.begin(), adv.end());
+  }
+
+  std::vector<NodeId> disputed;
+  for (auto x : it->second) {
+    if (disputed.size() >= max_links) break;
+    if (x == agent_.id()) continue;
+    // Uncorroborated neighbor: nobody but the suspect has ever mentioned x.
+    if (!independent.contains(x)) {
+      disputed.push_back(x);
+      continue;
+    }
+    // Contradicted neighbor: x's own freshest HELLO omits the suspect.
+    auto xh = latest_sym.find(x);
+    if (xh != latest_sym.end() &&
+        std::find(xh->second.begin(), xh->second.end(), suspect) ==
+            xh->second.end())
+      disputed.push_back(x);
+  }
+  return disputed;
+}
+
+void Detector::investigate_claim(NodeId suspect, NodeId subject,
+                                 bool claimed_up,
+                                 std::vector<EvidenceTag> tags,
+                                 std::vector<NodeId> verifiers) {
+  LinkQuery q;
+  q.kind = QueryKind::kLinkStatus;
+  q.suspect = suspect;
+  q.subject = subject;
+  q.claimed_up = claimed_up;
+
+  if (verifiers.empty()) verifiers = believed_neighbors_of(suspect);
+  // E3 check: a suspect that is the sole provider toward some node makes
+  // independent verification impossible; tag it so the report reflects the
+  // lower confidence (the paper deliberately does not trigger on E3 alone).
+  const auto graph = agent_.knowledge_graph();
+  const auto path_without = olsr::RoutingTable::shortest_path(
+      graph, agent_.id(), subject, {suspect});
+  if (!path_without && subject != agent_.id())
+    tags.push_back(EvidenceTag::kE3SoleProvider);
+
+  last_investigated_[{suspect, subject}] = sim_.now();
+  investigations_.investigate(
+      q, std::move(verifiers),
+      [this, tags = std::move(tags)](const RoundResult& r) {
+        on_round_complete(r, tags);
+      });
+}
+
+void Detector::on_round_complete(const RoundResult& result,
+                                 std::vector<EvidenceTag> tags) {
+  // First-hand evidence of the investigator itself enters the aggregate at
+  // full trust (Property 5: first-hand evidence is privileged over
+  // second-hand). Without it, a colluding majority could freeze the
+  // detection at a neutral aggregate.
+  const double own_obs = investigations_.honest_observation(result.query);
+  const double claim = result.query.claimed_up ? +1.0 : -1.0;
+  const double own_evidence =
+      own_obs == 0.0 ? 0.0 : (own_obs == claim ? +1.0 : -1.0);
+
+  // Eq. 8 over this round's answers, weighted by current trust.
+  // Timeouts keep their paper-mandated e=0 (they discount the aggregate);
+  // explicit abstentions ("cannot tell") carry no opinion and are dropped.
+  auto usable = [](const RoundAnswer& a) {
+    return !(a.answered && a.evidence == 0.0);
+  };
+  std::vector<trust::WeightedAnswer> round_weighted;
+  round_weighted.reserve(result.answers.size() + 1);
+  if (own_evidence != 0.0)
+    round_weighted.push_back(
+        trust::WeightedAnswer{agent_.id(), 1.0, own_evidence});
+  for (const auto& a : result.answers) {
+    if (!usable(a)) continue;
+    round_weighted.push_back(trust::WeightedAnswer{
+        a.responder, trust_.trust(a.responder), a.evidence});
+  }
+  const double round_detect = trust::aggregate_detection(round_weighted);
+
+  // Accumulate into the per-link pool and decide over the whole pool
+  // (§IV-C: an unrecognized outcome demands more evidence; successive
+  // rounds shrink the Eq. 9 margin as n grows).
+  auto& pool = answer_pool_[{result.query.suspect, result.query.subject}];
+  if (own_evidence != 0.0)
+    pool.push_back(PooledAnswer{agent_.id(), own_evidence, true});
+  for (const auto& a : result.answers)
+    if (usable(a)) pool.push_back(PooledAnswer{a.responder, a.evidence,
+                                               a.answered});
+  constexpr std::size_t kMaxPool = 500;
+  if (pool.size() > kMaxPool)
+    pool.erase(pool.begin(),
+               pool.begin() + static_cast<std::ptrdiff_t>(pool.size() - kMaxPool));
+
+  std::vector<trust::WeightedAnswer> pooled;
+  pooled.reserve(pool.size());
+  for (const auto& p : pool) {
+    const double w =
+        p.responder == agent_.id() ? 1.0 : trust_.trust(p.responder);
+    pooled.push_back(trust::WeightedAnswer{p.responder, w, p.evidence});
+  }
+  const auto decision = trust::decide(pooled, config_.decision);
+
+  DetectionReport report;
+  report.time = sim_.now();
+  report.suspect = result.query.suspect;
+  report.subject = result.query.subject;
+  report.claimed_up = result.query.claimed_up;
+  report.verdict = decision.verdict;
+  report.detect = round_detect;
+  report.cumulative_detect = decision.detect;
+  report.interval = decision.interval;
+  report.tags = std::move(tags);
+  report.answers = result.answers.size();
+  report.timeouts = result.timeouts;
+  report.cumulative_answers = pool.size();
+
+  // Confirmed verdicts add the E4/E5 evidence of Expression 4.
+  if (decision.verdict == trust::Verdict::kIntruder) {
+    report.tags.push_back(result.query.claimed_up
+                              ? EvidenceTag::kE5AdvertisesNonNeighbor
+                              : EvidenceTag::kE4NotCoveringNeighbor);
+  }
+
+  // Update trust (§IV-B: "this result is used to update the trust related
+  // to I and S1..Sm"). The per-round aggregate — not the gated verdict —
+  // drives the update: even while the decision is still "unrecognized"
+  // (wide confidence interval), responders leaning with the weighted
+  // majority gain a little and those contradicting it are treated as lying
+  // with gravity weighting. This is what lets liar trust fade round after
+  // round in the paper's Figure 1/3 dynamics.
+  if (std::abs(round_detect) >= config_.trust_update_min_detect) {
+    const double correct_sign = round_detect < 0.0 ? -1.0 : +1.0;
+    for (const auto& a : result.answers) {
+      if (!a.answered || a.evidence == 0.0) continue;
+      const bool agrees = a.evidence * correct_sign > 0.0;
+      trust_.record_interaction(a.responder, agrees);
+      if (agrees) {
+        trust_.apply_evidence(
+            a.responder,
+            trust::honest_answer_evidence(trust_.params().reward_honest));
+      } else {
+        trust_.apply_evidence(a.responder,
+                              trust::lie_evidence(trust_.params().gravity_lie));
+      }
+    }
+  }
+  // The suspect's own trust only moves on a *confirmed* verdict.
+  if (decision.verdict == trust::Verdict::kIntruder) {
+    trust_.apply_evidence(
+        result.query.suspect,
+        trust::intrusion_evidence(trust_.params().gravity_lie));
+  } else if (decision.verdict == trust::Verdict::kWellBehaving) {
+    trust_.apply_evidence(
+        result.query.suspect,
+        trust::honest_answer_evidence(trust_.params().reward_honest));
+  }
+
+  reports_.push_back(report);
+  if (reports_.size() > 10'000) reports_.pop_front();
+  if (on_report_) on_report_(report);
+}
+
+}  // namespace manet::core

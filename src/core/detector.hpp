@@ -1,0 +1,161 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/investigation.hpp"
+#include "core/signature.hpp"
+#include "sim/timer.hpp"
+#include "trust/detection.hpp"
+#include "trust/trust_store.hpp"
+
+namespace manet::core {
+
+/// Evidence taxonomy of §III-B.
+enum class EvidenceTag {
+  kE1MprReplaced,
+  kE2MprMisbehaving,
+  kE3SoleProvider,
+  kE4NotCoveringNeighbor,
+  kE5AdvertisesNonNeighbor,
+  kSignatureMatch,
+  /// §III-B: triggers "not necessarily event-driven... handled by launching
+  /// periodical/random checks" — the per-scan MPR audit.
+  kPeriodicCheck,
+};
+
+std::string to_string(EvidenceTag tag);
+
+/// Outcome of one investigated claim.
+struct DetectionReport {
+  sim::Time time;
+  NodeId suspect;
+  NodeId subject;
+  bool claimed_up = true;
+  /// Verdict of Eq. 10 over the *cumulative* evidence pool for this
+  /// disputed link (§IV-C: a too-wide interval demands more evidence, so
+  /// rounds accumulate until the margin allows a decision).
+  trust::Verdict verdict = trust::Verdict::kUnrecognized;
+  double detect = 0.0;  ///< Eq. 8 aggregate of THIS round's answers
+  double cumulative_detect = 0.0;  ///< Eq. 8 over the accumulated pool
+  stats::ConfidenceInterval interval;  ///< Eq. 9 over the accumulated pool
+  std::vector<EvidenceTag> tags;
+  std::size_t answers = 0;   ///< this round
+  std::size_t timeouts = 0;  ///< this round
+  std::size_t cumulative_answers = 0;
+};
+
+struct DetectorConfig {
+  trust::TrustParams trust_params;
+  trust::DecisionConfig decision;
+  InvestigationConfig investigation;
+  /// Period of the autonomous log scan.
+  sim::Duration scan_interval = sim::Duration::from_seconds(5.0);
+  /// Window for contradictory-HELLO signatures (the paper's delta-t).
+  sim::Duration hello_window = sim::Duration::from_seconds(6.0);
+  /// An MPR that has not retransmitted our TC after this long is E2-suspect.
+  sim::Duration fwd_timeout = sim::Duration::from_seconds(4.0);
+  /// TC receptions from one originator within storm_window that count as a
+  /// broadcast storm.
+  std::size_t storm_burst = 20;
+  sim::Duration storm_window = sim::Duration::from_seconds(5.0);
+  /// Re-investigation cooldown per disputed (suspect, subject) link.
+  sim::Duration suspect_cooldown = sim::Duration::from_seconds(10.0);
+  /// Minimum |Detect| for a round to move responder trust at all; below it
+  /// the aggregate is considered pure noise.
+  double trust_update_min_detect = 0.1;
+};
+
+/// The paper's distributed, log- and signature-based intrusion detector,
+/// one instance per participating node. It periodically re-reads the
+/// node's audit log **as text** (never touching protocol state), matches it
+/// against the OLSR attack signatures, derives the E1-E3 triggers of
+/// Expression 4, and launches cooperative investigations whose second-hand
+/// answers are aggregated under the trust system (Eq. 8) and judged with
+/// the confidence-interval rule (Eq. 9-10).
+class Detector {
+ public:
+  /// `investigations` is the node's investigation endpoint (shared so that
+  /// nodes answer queries whether or not they run their own detector); it
+  /// must outlive the Detector.
+  Detector(sim::Simulator& sim, olsr::Agent& agent,
+           InvestigationManager& investigations, DetectorConfig config = {});
+
+  void start();
+  void stop();
+
+  /// One scan pass over the log growth since the previous scan. Returns the
+  /// number of investigations launched.
+  std::size_t scan_once();
+
+  /// Directly investigates a claim (round-driven experiments, §V): verifiers
+  /// default to the suspect's believed 1-hop neighborhood.
+  void investigate_claim(NodeId suspect, NodeId subject, bool claimed_up,
+                         std::vector<EvidenceTag> tags,
+                         std::vector<NodeId> verifiers = {});
+
+  trust::TrustStore& trust_store() { return trust_; }
+  const trust::TrustStore& trust_store() const { return trust_; }
+  InvestigationManager& investigations() { return investigations_; }
+
+  const std::deque<DetectionReport>& reports() const { return reports_; }
+  using ReportCallback = std::function<void(const DetectionReport&)>;
+  void set_report_callback(ReportCallback cb) { on_report_ = std::move(cb); }
+
+  /// Nodes currently believed to be the suspect's 1-hop neighborhood,
+  /// from this node's own log (advertised + advertising).
+  std::vector<NodeId> believed_neighbors_of(NodeId suspect) const;
+
+  /// Advertised links of `suspect` that local knowledge cannot corroborate
+  /// (phantom neighbors) or actively contradicts; empty when everything
+  /// checks out. At most `max_links` are returned. Exposed for tests.
+  std::vector<NodeId> find_disputed_links(NodeId suspect,
+                                          std::size_t max_links = 3) const;
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  void on_round_complete(const RoundResult& result,
+                         std::vector<EvidenceTag> tags);
+  void process_records(const std::vector<logging::LogRecord>& records,
+                       std::size_t& launched);
+  void check_forward_timeouts(std::vector<logging::LogRecord>& synthesized);
+  bool in_cooldown(NodeId suspect, NodeId subject) const;
+
+  sim::Simulator& sim_;
+  olsr::Agent& agent_;
+  DetectorConfig config_;
+  trust::TrustStore trust_;
+  InvestigationManager& investigations_;
+  SignatureMatcher matcher_;
+  sim::PeriodicTimer scan_timer_;
+
+  sim::Time last_scan_{};
+  // State reconstructed purely from the log.
+  std::set<NodeId> current_mprs_;
+  struct SentTc {
+    sim::Time at;
+    std::int64_t seq;
+    std::set<NodeId> mprs_then;
+    std::set<NodeId> heard_from;
+  };
+  std::deque<SentTc> pending_tcs_;
+  std::map<std::pair<NodeId, NodeId>, sim::Time> last_investigated_;
+  /// Accumulated answers per disputed (suspect, subject) link. Evidence
+  /// values are stored raw; weights use the *current* trust at decision
+  /// time, so a liar's early answers lose influence as its trust fades.
+  struct PooledAnswer {
+    NodeId responder;
+    double evidence = 0.0;
+    bool answered = false;
+  };
+  std::map<std::pair<NodeId, NodeId>, std::vector<PooledAnswer>> answer_pool_;
+  std::deque<DetectionReport> reports_;
+  ReportCallback on_report_;
+  bool running_ = false;
+};
+
+}  // namespace manet::core

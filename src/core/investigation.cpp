@@ -1,0 +1,329 @@
+#include "core/investigation.hpp"
+
+#include <algorithm>
+
+#include "logging/format.hpp"
+
+namespace manet::core {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return (static_cast<std::uint32_t>(in[at]) << 24) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 8) |
+         static_cast<std::uint32_t>(in[at + 3]);
+}
+
+constexpr std::uint8_t kQueryTag = 1;
+constexpr std::uint8_t kAnswerTag = 2;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query(const LinkQuery& q) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kQueryTag);
+  out.push_back(static_cast<std::uint8_t>(q.kind));
+  put_u32(out, q.investigation_id);
+  put_u32(out, q.suspect.value());
+  put_u32(out, q.subject.value());
+  out.push_back(q.claimed_up ? 1 : 0);
+  return out;
+}
+
+std::optional<LinkQuery> decode_query(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != 15 || bytes[0] != kQueryTag) return std::nullopt;
+  LinkQuery q;
+  q.kind = static_cast<QueryKind>(bytes[1]);
+  if (q.kind != QueryKind::kLinkStatus && q.kind != QueryKind::kForwarding)
+    return std::nullopt;
+  q.investigation_id = get_u32(bytes, 2);
+  q.suspect = NodeId{get_u32(bytes, 6)};
+  q.subject = NodeId{get_u32(bytes, 10)};
+  q.claimed_up = bytes[14] != 0;
+  return q;
+}
+
+std::vector<std::uint8_t> encode_answer(const LinkAnswer& a) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kAnswerTag);
+  put_u32(out, a.investigation_id);
+  put_u32(out, a.responder.value());
+  put_u32(out, a.suspect.value());
+  put_u32(out, a.subject.value());
+  out.push_back(a.evidence > 0 ? 1 : (a.evidence < 0 ? 2 : 0));
+  return out;
+}
+
+std::optional<LinkAnswer> decode_answer(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() != 18 || bytes[0] != kAnswerTag) return std::nullopt;
+  LinkAnswer a;
+  a.investigation_id = get_u32(bytes, 1);
+  a.responder = NodeId{get_u32(bytes, 5)};
+  a.suspect = NodeId{get_u32(bytes, 9)};
+  a.subject = NodeId{get_u32(bytes, 13)};
+  a.evidence = bytes[17] == 1 ? 1.0 : (bytes[17] == 2 ? -1.0 : 0.0);
+  return a;
+}
+
+bool is_query(const std::vector<std::uint8_t>& bytes) {
+  return !bytes.empty() && bytes[0] == kQueryTag;
+}
+
+InvestigationManager::InvestigationManager(sim::Simulator& sim,
+                                           olsr::Agent& agent,
+                                           InvestigationConfig config,
+                                           AnswerPolicy policy)
+    : sim_{sim}, agent_{agent}, config_{config}, policy_{policy} {
+  agent_.set_data_handler(
+      [this](const olsr::DataMessage& message) { on_data(message); });
+}
+
+void InvestigationManager::on_data(const olsr::DataMessage& message) {
+  if (message.protocol != kInvestigationProtocol) {
+    if (fallback_) fallback_(message);
+    return;
+  }
+  if (is_query(message.payload)) {
+    if (auto q = decode_query(message.payload))
+      handle_query(message.source, *q, message.trace);
+  } else {
+    if (auto a = decode_answer(message.payload)) handle_answer(*a);
+  }
+}
+
+double InvestigationManager::honest_observation(const LinkQuery& query) const {
+  const auto now = sim_.now();
+
+  if (query.kind == QueryKind::kForwarding) {
+    // Did we select the suspect as MPR, and did it retransmit our messages?
+    if (!agent_.mpr_set().contains(query.suspect)) return 0.0;
+    for (const auto& rec : agent_.log().records_with_event("own_fwd_heard")) {
+      if (now - rec.time > config_.hello_freshness) continue;
+      if (rec.node_field("by") == query.suspect) return +1.0;
+    }
+    return -1.0;  // our MPR, but no forward observed recently
+  }
+
+  // kLinkStatus: is the link suspect-subject up? Evidence must come from
+  // the SUBJECT's side or third parties — the suspect's own HELLOs are the
+  // very claim under dispute and must never corroborate themselves.
+  if (query.subject == agent_.id()) {
+    // We ARE the far end: first-hand knowledge from the link set.
+    return agent_.is_symmetric_neighbor(query.suspect) ? +1.0 : -1.0;
+  }
+
+  // A down-claim (the suspect omits the subject) cannot be judged by third
+  // parties: a one-sided listing is indistinguishable from a genuine link
+  // break. Only the omitted subject's first-hand testimony is informative;
+  // everyone else abstains.
+  if (!query.claimed_up) return 0.0;
+
+  // Consult our own audit log: the freshest HELLO heard directly from the
+  // subject tells us whether it considers the suspect a neighbor; if it
+  // does, the suspect's freshest HELLO must reciprocate for the link to be
+  // symmetric (a one-sided listing is not an up link).
+  const auto hellos = agent_.log().records_with_event("hello_recv");
+  for (auto it = hellos.rbegin(); it != hellos.rend(); ++it) {
+    if (now - it->time > config_.hello_freshness) break;  // older only
+    if (it->node_field("from") != query.subject) continue;
+    const auto sym = it->node_list_field("sym");
+    const bool subject_lists =
+        std::find(sym.begin(), sym.end(), query.suspect) != sym.end();
+    if (!subject_lists) return -1.0;
+    for (auto jt = hellos.rbegin(); jt != hellos.rend(); ++jt) {
+      if (now - jt->time > config_.hello_freshness) break;
+      if (jt->node_field("from") != query.suspect) continue;
+      const auto ssym = jt->node_list_field("sym");
+      const bool reciprocated =
+          std::find(ssym.begin(), ssym.end(), query.subject) != ssym.end();
+      return reciprocated ? +1.0 : -1.0;
+    }
+    return +1.0;  // subject vouches; suspect unheard locally
+  }
+
+  // Never heard the subject directly. Look for evidence of its existence
+  // that does NOT trace back to the suspect itself: a TC it originated, a
+  // TC advertising it, or a HELLO from a third node listing it. If no
+  // independent trace exists, the advertised link points at a phantom.
+  for (const auto& rec : agent_.log().records_with_event("tc_recv")) {
+    if (rec.node_field("orig") == query.subject) return 0.0;
+    const auto adv = rec.node_list_field("adv");
+    if (rec.node_field("orig") != query.suspect &&
+        std::find(adv.begin(), adv.end(), query.subject) != adv.end())
+      return 0.0;
+  }
+  for (auto it = hellos.rbegin(); it != hellos.rend(); ++it) {
+    const auto from = it->node_field("from");
+    if (from == query.suspect || from == query.subject) continue;
+    const auto sym = it->node_list_field("sym");
+    if (std::find(sym.begin(), sym.end(), query.subject) != sym.end())
+      return 0.0;  // a third party vouches the subject exists
+  }
+  return -1.0;
+}
+
+void InvestigationManager::handle_query(NodeId requester,
+                                        const LinkQuery& query,
+                                        const std::vector<NodeId>& trace) {
+  if (policy_ == AnswerPolicy::kSilent) return;
+
+  const double truth_observation = honest_observation(query);
+  // Evidence = agreement with the suspect's claim.
+  const double claim = query.claimed_up ? +1.0 : -1.0;
+  double evidence = truth_observation == 0.0
+                        ? 0.0
+                        : (truth_observation == claim ? +1.0 : -1.0);
+
+  switch (policy_) {
+    case AnswerPolicy::kHonest:
+      break;
+    case AnswerPolicy::kLiar:
+      // The colluder contradicts the truth: it vouches for the attacker's
+      // claim, or frames an innocent suspect.
+      evidence = evidence == 0.0 ? +1.0 : -evidence;
+      break;
+    case AnswerPolicy::kRandom:
+      evidence = sim_.rng().bernoulli(0.5) ? +1.0 : -1.0;
+      break;
+    case AnswerPolicy::kSilent:
+      return;  // unreachable, handled above
+  }
+
+  LinkAnswer answer;
+  answer.investigation_id = query.investigation_id;
+  answer.responder = agent_.id();
+  answer.suspect = query.suspect;
+  answer.subject = query.subject;
+  answer.evidence = evidence;
+
+  ++stats_.answers_sent;
+  // §III-C: request and answer together must avoid the suspect. The query
+  // arrived over a suspect-free path, so the answer retraces it in reverse;
+  // if no trace exists (direct delivery), compute a suspect-avoiding route.
+  if (!trace.empty()) {
+    std::vector<NodeId> route{trace.rbegin(), trace.rend()};
+    route.push_back(requester);
+    agent_.send_data_via(std::move(route), kInvestigationProtocol,
+                         encode_answer(answer));
+  } else {
+    agent_.send_data(requester, kInvestigationProtocol, encode_answer(answer),
+                     {query.suspect});
+  }
+}
+
+void InvestigationManager::investigate(const LinkQuery& query,
+                                       std::vector<NodeId> verifiers,
+                                       RoundCallback done) {
+  const auto id = next_id_++;
+  auto& inv = outstanding_[id];
+  inv.query = query;
+  inv.query.investigation_id = id;
+  inv.result.id = id;
+  inv.result.query = inv.query;
+  inv.done = std::move(done);
+  inv.timer = std::make_unique<sim::OneShotTimer>(sim_);
+
+  for (auto v : verifiers) {
+    if (v == agent_.id() || v == query.suspect) continue;
+    inv.pending[v] = PendingVerifier{config_.max_retries,
+                                     {query.suspect},
+                                     false};
+  }
+  if (inv.pending.empty()) {
+    finalize(id);
+    return;
+  }
+  for (auto& [v, _] : inv.pending) send_query_to(inv, v);
+  inv.timer->arm(config_.answer_timeout, [this, id] { on_timeout(id); });
+}
+
+void InvestigationManager::send_query_to(Outstanding& inv, NodeId verifier) {
+  auto& p = inv.pending.at(verifier);
+  ++stats_.queries_sent;
+  const auto status = agent_.send_data(
+      verifier, kInvestigationProtocol, encode_query(inv.query), p.avoid);
+  if (status == olsr::Agent::SendStatus::kNoRoute) {
+    ++stats_.route_failures;
+    // No path that avoids the suspect: the paper's E3 situation. The
+    // verifier stays pending; a retry may succeed after topology changes.
+  }
+}
+
+void InvestigationManager::handle_answer(const LinkAnswer& answer) {
+  auto it = outstanding_.find(answer.investigation_id);
+  if (it == outstanding_.end()) return;
+  auto& inv = it->second;
+  auto p = inv.pending.find(answer.responder);
+  if (p == inv.pending.end() || p->second.done) return;
+
+  p->second.done = true;
+  ++stats_.answers_received;
+  inv.result.answers.push_back(
+      RoundAnswer{answer.responder, answer.evidence, true});
+
+  const bool all_done =
+      std::all_of(inv.pending.begin(), inv.pending.end(),
+                  [](const auto& kv) { return kv.second.done; });
+  if (all_done) finalize(answer.investigation_id);
+}
+
+void InvestigationManager::on_timeout(std::uint32_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  auto& inv = it->second;
+
+  bool any_retry = false;
+  for (auto& [v, p] : inv.pending) {
+    if (p.done) continue;
+    if (p.retries_left > 0) {
+      --p.retries_left;
+      ++stats_.retries;
+      // Algorithm 1: try the next covering path — grow the avoid set with
+      // the first relay of the previous attempt so a different route is
+      // chosen, then fall back to any multi-hop alternative.
+      const auto graph = agent_.knowledge_graph();
+      auto prev = olsr::RoutingTable::shortest_path(graph, agent_.id(), v,
+                                                    p.avoid);
+      if (prev && prev->size() > 1) p.avoid.insert(prev->front());
+      send_query_to(inv, v);
+      any_retry = true;
+    } else {
+      p.done = true;
+      ++inv.result.timeouts;
+      inv.result.answers.push_back(RoundAnswer{v, 0.0, false});
+    }
+  }
+
+  if (any_retry) {
+    inv.timer->arm(config_.answer_timeout, [this, id] { on_timeout(id); });
+  } else {
+    finalize(id);
+  }
+}
+
+void InvestigationManager::finalize(std::uint32_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  // Collect any still-pending verifiers as unanswered.
+  for (auto& [v, p] : it->second.pending) {
+    if (!p.done) {
+      it->second.result.answers.push_back(RoundAnswer{v, 0.0, false});
+      ++it->second.result.timeouts;
+      p.done = true;
+    }
+  }
+  auto done = std::move(it->second.done);
+  auto result = std::move(it->second.result);
+  outstanding_.erase(it);
+  if (done) done(result);
+}
+
+}  // namespace manet::core

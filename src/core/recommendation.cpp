@@ -1,0 +1,174 @@
+#include "core/recommendation.hpp"
+
+#include <cmath>
+
+#include "trust/propagation.hpp"
+
+namespace manet::core {
+namespace {
+
+constexpr std::uint8_t kReqTag = 3;
+constexpr std::uint8_t kReplyTag = 4;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return (static_cast<std::uint32_t>(in[at]) << 24) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 8) |
+         static_cast<std::uint32_t>(in[at + 3]);
+}
+
+// Trust in [0,1] encoded in a byte (256 levels — plenty for a judgment).
+std::uint8_t encode_trust(double t) {
+  return static_cast<std::uint8_t>(std::lround(std::clamp(t, 0.0, 1.0) * 255));
+}
+double decode_trust(std::uint8_t b) { return static_cast<double>(b) / 255.0; }
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_recommendation_request(
+    std::uint32_t request_id, const std::vector<net::NodeId>& subjects) {
+  std::vector<std::uint8_t> out{kReqTag};
+  put_u32(out, request_id);
+  out.push_back(static_cast<std::uint8_t>(subjects.size()));
+  for (auto s : subjects) put_u32(out, s.value());
+  return out;
+}
+
+std::optional<std::vector<net::NodeId>> decode_recommendation_request(
+    const std::vector<std::uint8_t>& bytes, std::uint32_t& request_id) {
+  if (bytes.size() < 6 || bytes[0] != kReqTag) return std::nullopt;
+  request_id = get_u32(bytes, 1);
+  const std::size_t count = bytes[5];
+  if (bytes.size() != 6 + 4 * count) return std::nullopt;
+  std::vector<net::NodeId> subjects;
+  for (std::size_t i = 0; i < count; ++i)
+    subjects.push_back(net::NodeId{get_u32(bytes, 6 + 4 * i)});
+  return subjects;
+}
+
+std::vector<std::uint8_t> encode_recommendation_reply(
+    const RecommendationReply& reply) {
+  std::vector<std::uint8_t> out{kReplyTag};
+  put_u32(out, reply.request_id);
+  put_u32(out, reply.recommender.value());
+  out.push_back(static_cast<std::uint8_t>(reply.trusts.size()));
+  for (const auto& [subject, trust] : reply.trusts) {
+    put_u32(out, subject.value());
+    out.push_back(encode_trust(trust));
+  }
+  return out;
+}
+
+std::optional<RecommendationReply> decode_recommendation_reply(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 10 || bytes[0] != kReplyTag) return std::nullopt;
+  RecommendationReply reply;
+  reply.request_id = get_u32(bytes, 1);
+  reply.recommender = net::NodeId{get_u32(bytes, 5)};
+  const std::size_t count = bytes[9];
+  if (bytes.size() != 10 + 5 * count) return std::nullopt;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto subject = net::NodeId{get_u32(bytes, 10 + 5 * i)};
+    const auto trust = decode_trust(bytes[10 + 5 * i + 4]);
+    reply.trusts.emplace_back(subject, trust);
+  }
+  return reply;
+}
+
+bool is_recommendation_request(const std::vector<std::uint8_t>& bytes) {
+  return !bytes.empty() && bytes[0] == kReqTag;
+}
+
+RecommendationExchange::RecommendationExchange(sim::Simulator& sim,
+                                               olsr::Agent& agent,
+                                               trust::TrustStore& store)
+    : sim_{sim}, agent_{agent}, store_{store} {}
+
+void RecommendationExchange::bootstrap(
+    const std::vector<net::NodeId>& subjects,
+    const std::vector<net::NodeId>& recommenders, sim::Duration timeout,
+    Done done) {
+  const auto id = next_id_++;
+  auto& pending = outstanding_[id];
+  pending.subjects = subjects;
+  pending.done = std::move(done);
+  pending.timer = std::make_unique<sim::OneShotTimer>(sim_);
+
+  const auto payload = encode_recommendation_request(id, subjects);
+  for (auto r : recommenders) {
+    if (r == agent_.id()) continue;
+    agent_.send_data(r, kRecommendationProtocol, payload);
+  }
+  pending.timer->arm(timeout, [this, id] { finalize(id); });
+}
+
+bool RecommendationExchange::on_data(const olsr::DataMessage& message) {
+  if (message.protocol != kRecommendationProtocol) return false;
+
+  if (is_recommendation_request(message.payload)) {
+    std::uint32_t request_id = 0;
+    const auto subjects =
+        decode_recommendation_request(message.payload, request_id);
+    if (!subjects) return true;
+    RecommendationReply reply;
+    reply.request_id = request_id;
+    reply.recommender = agent_.id();
+    for (auto s : *subjects) reply.trusts.emplace_back(s, store_.trust(s));
+    agent_.send_data(message.source, kRecommendationProtocol,
+                     encode_recommendation_reply(reply));
+    return true;
+  }
+
+  const auto reply = decode_recommendation_reply(message.payload);
+  if (!reply) return true;
+  auto it = outstanding_.find(reply->request_id);
+  if (it != outstanding_.end()) it->second.replies.push_back(*reply);
+  return true;
+}
+
+void RecommendationExchange::finalize(std::uint32_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return;
+  auto pending = std::move(it->second);
+  outstanding_.erase(it);
+
+  // Eq. 7: Tm^{A,I} = sum_i w_i R^{A,Si} T^{Si,I}, w_i = 1 / sum_j R^{A,Sj},
+  // with R from the entropy-based recommendation history. Results land in
+  // [-1,1]; map to the store's [0,1] scale around the default anchor.
+  std::map<net::NodeId, double> merged;
+  for (auto subject : pending.subjects) {
+    std::vector<trust::RecommendationPath> paths;
+    for (const auto& reply : pending.replies) {
+      for (const auto& [s, t] : reply.trusts) {
+        if (s != subject) continue;
+        // The recommender reported store-scale trust [0,1]; recenter to
+        // [-1,1] around the neutral default for propagation.
+        const double centered =
+            (t - store_.params().default_trust) /
+            std::max(store_.params().max_trust - store_.params().default_trust,
+                     store_.params().default_trust - store_.params().min_trust);
+        paths.push_back(trust::RecommendationPath{
+            reply.recommender, store_.recommendation_trust(reply.recommender),
+            centered});
+      }
+    }
+    if (paths.empty()) continue;
+    const double tm = trust::multipath_trust(paths);
+    const double store_scale =
+        store_.params().default_trust +
+        tm * (tm >= 0 ? store_.params().max_trust - store_.params().default_trust
+                      : store_.params().default_trust - store_.params().min_trust);
+    merged[subject] = store_scale;
+    if (!store_.known(subject)) store_.set_trust(subject, store_scale);
+  }
+  if (pending.done) pending.done(merged);
+}
+
+}  // namespace manet::core

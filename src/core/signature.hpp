@@ -1,0 +1,87 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logging/record.hpp"
+#include "sim/time.hpp"
+
+namespace manet::core {
+
+/// Predicate over one audit-log record.
+struct EventPattern {
+  std::string name;
+  std::function<bool(const logging::LogRecord&)> match;
+};
+
+/// One step of a signature. `after` lists indices of steps that must have
+/// matched earlier — the paper defines a signature as a *partially ordered*
+/// sequence of events, so steps without mutual ordering may interleave.
+struct SignatureStep {
+  EventPattern pattern;
+  std::vector<std::size_t> after;
+  bool optional = false;
+};
+
+/// An intrusion signature: steps + time window + optional correlation.
+struct Signature {
+  std::string name;
+  /// All matched records must fall within this window.
+  sim::Duration window = sim::Duration::from_seconds(10.0);
+  std::vector<SignatureStep> steps;
+  /// When set, every matched record must carry this field with one shared
+  /// value (e.g. correlate "from" to tie a burst to one originator).
+  std::optional<std::string> correlate_field;
+  /// Cross-record constraint evaluated on completion (records indexed by
+  /// step; optional unmatched steps hold nullptr).
+  std::function<bool(const std::vector<const logging::LogRecord*>&)> constraint;
+};
+
+/// A completed signature match.
+struct SignatureMatch {
+  std::string signature;
+  std::vector<logging::LogRecord> records;  ///< in match order
+  sim::Time first_event;
+  sim::Time last_event;
+  std::string correlated_value;  ///< value of correlate_field, if any
+};
+
+/// Streaming matcher: feed parsed log records in time order; completed
+/// matches accumulate and can be drained. Partial matches expire once their
+/// window passes, so memory stays bounded.
+class SignatureMatcher {
+ public:
+  void add_signature(Signature signature);
+
+  /// Feeds one record; returns matches completed by this record.
+  std::vector<SignatureMatch> feed(const logging::LogRecord& record);
+
+  /// Feeds a batch (convenience for scan-based detectors).
+  std::vector<SignatureMatch> feed_all(
+      const std::vector<logging::LogRecord>& records);
+
+  std::size_t signature_count() const { return signatures_.size(); }
+  std::size_t partial_count() const;
+
+ private:
+  struct Partial {
+    std::size_t signature_index;
+    /// Matched record per step (nullopt until the step matches).
+    std::vector<std::optional<logging::LogRecord>> matched;
+    sim::Time first_event;
+    std::string correlated_value;
+    bool has_correlated_value = false;
+  };
+
+  bool try_extend(Partial& partial, const logging::LogRecord& record);
+  bool is_complete(const Partial& partial) const;
+  bool is_complete_except_constraint(const Partial& partial) const;
+  bool constraint_passes(const Partial& partial) const;
+
+  std::vector<Signature> signatures_;
+  std::vector<Partial> partials_;
+};
+
+}  // namespace manet::core

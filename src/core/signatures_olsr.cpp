@@ -1,0 +1,135 @@
+#include "core/signatures_olsr.hpp"
+
+#include <algorithm>
+
+namespace manet::core {
+namespace {
+
+bool is_event(const logging::LogRecord& r, std::string_view name) {
+  return r.event == name;
+}
+
+std::vector<net::NodeId> sym_list(const logging::LogRecord& r) {
+  return r.node_list_field("sym");
+}
+
+}  // namespace
+
+Signature link_spoofing_claim_signature(sim::Duration window) {
+  Signature sig;
+  sig.name = "link_spoofing_claim";
+  sig.window = window;
+  sig.steps.resize(2);
+  // Step 0: HELLO from the suspect I (any hello_recv).
+  sig.steps[0].pattern = {"hello_from_suspect", [](const logging::LogRecord& r) {
+                            return is_event(r, "hello_recv");
+                          }};
+  // Step 1: HELLO from some X, unordered relative to step 0 (the paper's
+  // |t'-t| < delta-t with no ordering), hence no `after` dependency.
+  sig.steps[1].pattern = {"hello_from_subject", [](const logging::LogRecord& r) {
+                            return is_event(r, "hello_recv");
+                          }};
+  sig.constraint = [](const std::vector<const logging::LogRecord*>& recs) {
+    if (recs[0] == nullptr || recs[1] == nullptr) return false;
+    const auto& from_i = *recs[0];
+    const auto& from_x = *recs[1];
+    const auto i = from_i.node_field("from");
+    const auto x = from_x.node_field("from");
+    if (i == x) return false;
+    // I claims X symmetric...
+    const auto i_sym = sym_list(from_i);
+    if (std::find(i_sym.begin(), i_sym.end(), x) == i_sym.end()) return false;
+    // ...but X's own HELLO does not list I.
+    const auto x_sym = sym_list(from_x);
+    return std::find(x_sym.begin(), x_sym.end(), i) == x_sym.end();
+  };
+  return sig;
+}
+
+Signature link_omission_signature(sim::Duration window) {
+  Signature sig;
+  sig.name = "link_omission";
+  sig.window = window;
+  sig.steps.resize(2);
+  sig.steps[0].pattern = {"hello_from_claimer", [](const logging::LogRecord& r) {
+                            return is_event(r, "hello_recv");
+                          }};
+  sig.steps[1].pattern = {"hello_from_omitter", [](const logging::LogRecord& r) {
+                            return is_event(r, "hello_recv");
+                          }};
+  sig.constraint = [](const std::vector<const logging::LogRecord*>& recs) {
+    if (recs[0] == nullptr || recs[1] == nullptr) return false;
+    const auto& from_x = *recs[0];  // X claims the link
+    const auto& from_i = *recs[1];  // I omits it
+    const auto x = from_x.node_field("from");
+    const auto i = from_i.node_field("from");
+    if (i == x) return false;
+    const auto x_sym = sym_list(from_x);
+    if (std::find(x_sym.begin(), x_sym.end(), i) == x_sym.end()) return false;
+    // A true omission lists X neither as symmetric nor as a heard (ASYM)
+    // link; transitional link-sensing states advertise X as ASYM and must
+    // not fire the signature.
+    const auto i_sym = sym_list(from_i);
+    if (std::find(i_sym.begin(), i_sym.end(), x) != i_sym.end()) return false;
+    if (auto asym = from_i.field("asym")) {
+      for (const auto& part : logging::split_list(*asym))
+        if (net::NodeId::parse(part) == x) return false;
+    }
+    return true;
+  };
+  return sig;
+}
+
+Signature storm_signature(std::size_t burst, sim::Duration window) {
+  Signature sig;
+  sig.name = "broadcast_storm";
+  sig.window = window;
+  sig.correlate_field = "orig";
+  sig.steps.resize(burst);
+  for (std::size_t i = 0; i < burst; ++i) {
+    sig.steps[i].pattern = {"tc_recv", [](const logging::LogRecord& r) {
+                              return is_event(r, "tc_recv");
+                            }};
+    if (i > 0) sig.steps[i].after = {i - 1};
+  }
+  return sig;
+}
+
+Signature drop_signature(sim::Duration window) {
+  Signature sig;
+  sig.name = "mpr_drop";
+  sig.window = window;
+  sig.steps.resize(2);
+  sig.steps[0].pattern = {"tc_sent", [](const logging::LogRecord& r) {
+                            return is_event(r, "tc_sent");
+                          }};
+  sig.steps[1].pattern = {"mpr_fwd_timeout", [](const logging::LogRecord& r) {
+                            return is_event(r, "mpr_fwd_timeout");
+                          }};
+  sig.steps[1].after = {0};
+  sig.constraint = [](const std::vector<const logging::LogRecord*>& recs) {
+    if (recs[0] == nullptr || recs[1] == nullptr) return false;
+    return recs[0]->field_or_throw("seq") == recs[1]->field_or_throw("seq");
+  };
+  return sig;
+}
+
+Signature mpr_replacement_signature() {
+  Signature sig;
+  sig.name = "mpr_replacement";
+  sig.window = sim::Duration::from_seconds(1.0);
+  sig.steps.resize(1);
+  // E1 fires whenever the MPR set gains a member: a strict replacement
+  // (added+removed) or the degenerate case where a spoofing node forces
+  // itself into an initial selection. Legitimate additions are filtered
+  // downstream — the detector only investigates when the new MPR's
+  // advertised links cannot be corroborated independently.
+  sig.steps[0].pattern = {"mpr_changed", [](const logging::LogRecord& r) {
+                            if (!is_event(r, "mpr_changed")) return false;
+                            const auto added = r.field("added");
+                            return added && !added->empty();
+                          }};
+  return sig;
+}
+
+}  // namespace manet::core

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/signature.hpp"
+#include "net/node_id.hpp"
+
+namespace manet::core {
+
+/// Predefined intrusion signatures over the OLSR audit log (§III of the
+/// paper). Each factory returns a Signature ready for SignatureMatcher.
+
+/// Expressions 1-2 precondition: two HELLO receptions within `window` that
+/// contradict each other — a node I advertises X as symmetric while X's own
+/// HELLO (heard directly) does not list I. Fires on the *local* log only;
+/// the cooperative investigation then confirms or refutes.
+Signature link_spoofing_claim_signature(sim::Duration window);
+
+/// Expression 3 precondition: X's HELLO lists I as symmetric but I's own
+/// HELLO omits X (the intruder shrinks connectivity).
+Signature link_omission_signature(sim::Duration window);
+
+/// Broadcast storm: `burst` TC receptions from one originator within
+/// `window` (correlated on the originator field).
+Signature storm_signature(std::size_t burst, sim::Duration window);
+
+/// Drop attack (gives E2): we sent a TC and a selected MPR never
+/// retransmitted it. Modeled as tc_sent followed — within the window — by a
+/// mpr_fwd_timeout record that the detector synthesizes; kept as a
+/// signature so drops are matched uniformly with other attacks.
+Signature drop_signature(sim::Duration window);
+
+/// MPR churn: an mpr_changed that both adds and removes nodes (E1 — an MPR
+/// has been *replaced*, the paper's primary trigger for investigation).
+Signature mpr_replacement_signature();
+
+}  // namespace manet::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "logging/record.hpp"
+
+namespace manet::logging {
+
+/// Append-only audit log of one node's routing daemon, with bounded
+/// retention. The IDS reads it through `text_since` + the parser — i.e.
+/// through the same text round-trip a real log file would impose.
+class LogStore {
+ public:
+  explicit LogStore(std::size_t max_records = 100'000)
+      : max_records_{max_records} {}
+
+  void append(LogRecord record);
+
+  std::size_t size() const { return records_.size(); }
+  const LogRecord& at(std::size_t i) const { return records_.at(i); }
+
+  /// Records with time >= since (they are appended in time order).
+  std::vector<LogRecord> records_since(sim::Time since) const;
+
+  /// Records matching an event name, newest last.
+  std::vector<LogRecord> records_with_event(const std::string& event) const;
+
+  /// The formatted text of all records with time >= since — what a log
+  /// analyzer would read from disk.
+  std::string text_since(sim::Time since) const;
+
+  /// Observer invoked on every append (used by tests and live detectors).
+  void set_observer(std::function<void(const LogRecord&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  std::uint64_t total_appended() const { return total_appended_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  std::size_t max_records_;
+  std::deque<LogRecord> records_;
+  std::function<void(const LogRecord&)> observer_;
+  std::uint64_t total_appended_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace manet::logging

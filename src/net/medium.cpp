@@ -1,0 +1,129 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace manet::net {
+
+Medium::Medium(sim::Simulator& sim, RadioConfig config)
+    : sim_{sim}, config_{config} {}
+
+void Medium::attach(NodeId id, Position pos, ReceiveHandler handler) {
+  if (hosts_.contains(id))
+    throw std::logic_error{"host already attached: " + id.to_string()};
+  hosts_.emplace(id, Host{pos, std::move(handler), true, {}});
+}
+
+void Medium::detach(NodeId id) { hosts_.erase(id); }
+
+void Medium::set_handler(NodeId id, ReceiveHandler handler) {
+  host(id).handler = std::move(handler);
+}
+
+bool Medium::attached(NodeId id) const { return hosts_.contains(id); }
+
+void Medium::set_position(NodeId id, Position pos) { host(id).pos = pos; }
+
+Position Medium::position(NodeId id) const { return host(id).pos; }
+
+void Medium::set_up(NodeId id, bool up) { host(id).up = up; }
+
+bool Medium::is_up(NodeId id) const { return host(id).up; }
+
+Medium::Host& Medium::host(NodeId id) {
+  auto it = hosts_.find(id);
+  if (it == hosts_.end())
+    throw std::out_of_range{"unknown host: " + id.to_string()};
+  return it->second;
+}
+
+const Medium::Host& Medium::host(NodeId id) const {
+  auto it = hosts_.find(id);
+  if (it == hosts_.end())
+    throw std::out_of_range{"unknown host: " + id.to_string()};
+  return it->second;
+}
+
+void Medium::broadcast(NodeId sender, Bytes payload) {
+  transmit(sender, kInvalidNode, std::move(payload));
+}
+
+void Medium::unicast(NodeId sender, NodeId next_hop, Bytes payload) {
+  transmit(sender, next_hop, std::move(payload));
+}
+
+void Medium::transmit(NodeId sender, NodeId link_dest, Bytes payload) {
+  const Host& tx = host(sender);
+  if (!tx.up) return;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += payload.size();
+
+  for (const auto& [id, rx] : hosts_) {
+    if (id == sender || !rx.up) continue;
+    if (link_dest.valid() && id != link_dest) continue;
+    if (distance(tx.pos, rx.pos) > config_.range_m) continue;
+    deliver_to(sender, id, link_dest, payload);
+  }
+}
+
+void Medium::deliver_to(NodeId sender, NodeId receiver, NodeId link_dest,
+                        const Bytes& payload) {
+  // Independent per-delivery loss.
+  if (sim_.rng().bernoulli(config_.loss_probability)) {
+    ++stats_.losses;
+    return;
+  }
+
+  sim::Duration delay = config_.base_delay;
+  if (config_.delay_jitter > sim::Duration{}) {
+    delay += sim::Duration::from_us(
+        sim_.rng().uniform_int(0, config_.delay_jitter.us()));
+  }
+  const sim::Time arrival = sim_.now() + delay;
+
+  Host& rx = host(receiver);
+  auto corrupted = std::make_shared<bool>(false);
+
+  if (config_.collision_window > sim::Duration{}) {
+    // Purge stale entries, then collide with any overlapping arrival.
+    std::erase_if(rx.arrivals, [&](const auto& a) {
+      return a.first + config_.collision_window < sim_.now();
+    });
+    for (auto& [at, flag] : rx.arrivals) {
+      const auto gap = arrival >= at ? arrival - at : at - arrival;
+      if (gap < config_.collision_window) {
+        *flag = true;
+        *corrupted = true;
+      }
+    }
+    rx.arrivals.emplace_back(arrival, corrupted);
+  }
+
+  Packet packet{sender, link_dest, payload, sim_.now()};
+  sim_.schedule_at(arrival, [this, receiver, corrupted,
+                             packet = std::move(packet), arrival] {
+    auto it = hosts_.find(receiver);
+    if (it == hosts_.end() || !it->second.up) return;
+    std::erase_if(it->second.arrivals,
+                  [&](const auto& a) { return a.first <= arrival; });
+    if (*corrupted) {
+      ++stats_.collisions;
+      return;
+    }
+    ++stats_.deliveries;
+    if (it->second.handler) it->second.handler(packet);
+  });
+}
+
+std::vector<NodeId> Medium::neighbors_in_range(NodeId id) const {
+  const Host& me = host(id);
+  std::vector<NodeId> out;
+  for (const auto& [other, h] : hosts_) {
+    if (other == id || !h.up) continue;
+    if (distance(me.pos, h.pos) <= config_.range_m) out.push_back(other);
+  }
+  return out;
+}
+
+}  // namespace manet::net

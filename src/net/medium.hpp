@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/position.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet::net {
+
+/// Radio/channel parameters of the shared wireless medium.
+struct RadioConfig {
+  double range_m = 250.0;         ///< unit-disk communication range
+  double loss_probability = 0.0;  ///< independent per-delivery frame loss
+  /// Propagation + processing latency per delivered frame.
+  sim::Duration base_delay = sim::Duration::from_us(500);
+  /// Extra uniform random delay in [0, delay_jitter] per delivery.
+  sim::Duration delay_jitter = sim::Duration::from_us(500);
+  /// Two frames arriving at one receiver closer than this collide and are
+  /// both lost — a coarse CSMA-less interference model (the paper's "high
+  /// level of collisions" environment). Zero disables collisions.
+  sim::Duration collision_window = sim::Duration::from_us(0);
+};
+
+/// Traffic counters, exposed for the overhead bench (Table B).
+struct MediumStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t losses = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// The shared broadcast medium. Hosts attach with a position and a receive
+/// handler; transmissions reach every attached host within radio range,
+/// subject to loss, delay jitter and collisions. Deterministic given the
+/// simulator seed.
+class Medium {
+ public:
+  using ReceiveHandler = std::function<void(const Packet&)>;
+
+  Medium(sim::Simulator& sim, RadioConfig config);
+
+  void attach(NodeId id, Position pos, ReceiveHandler handler = {});
+  void detach(NodeId id);
+  bool attached(NodeId id) const;
+
+  /// Installs/replaces the receive handler of an attached host (a daemon
+  /// starting on a host that was placed earlier).
+  void set_handler(NodeId id, ReceiveHandler handler);
+
+  void set_position(NodeId id, Position pos);
+  Position position(NodeId id) const;
+
+  /// Marks a host down/up (radio off); down hosts neither send nor receive.
+  void set_up(NodeId id, bool up);
+  bool is_up(NodeId id) const;
+
+  /// Link-layer broadcast to every in-range host.
+  void broadcast(NodeId sender, Bytes payload);
+
+  /// Link-layer unicast: delivered only to `next_hop`, and only if in range.
+  void unicast(NodeId sender, NodeId next_hop, Bytes payload);
+
+  /// Ground-truth in-range neighbors — for tests and topology assertions
+  /// only; protocol code must learn neighbors via HELLO exchange.
+  std::vector<NodeId> neighbors_in_range(NodeId id) const;
+
+  const MediumStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = MediumStats{}; }
+
+  const RadioConfig& config() const { return config_; }
+
+ private:
+  struct Host {
+    Position pos;
+    ReceiveHandler handler;
+    bool up = true;
+    // Pending arrivals for collision detection: (arrival time, corrupted).
+    std::vector<std::pair<sim::Time, std::shared_ptr<bool>>> arrivals;
+  };
+
+  void transmit(NodeId sender, NodeId link_dest, Bytes payload);
+  void deliver_to(NodeId sender, NodeId receiver, NodeId link_dest,
+                  const Bytes& payload);
+  Host& host(NodeId id);
+  const Host& host(NodeId id) const;
+
+  sim::Simulator& sim_;
+  RadioConfig config_;
+  std::map<NodeId, Host> hosts_;
+  MediumStats stats_;
+};
+
+}  // namespace manet::net

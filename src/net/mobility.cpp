@@ -1,0 +1,67 @@
+#include "net/mobility.hpp"
+
+#include <algorithm>
+
+namespace manet::net {
+
+RandomWaypoint::RandomWaypoint(Position start, Config config)
+    : config_{config}, pos_{start}, waypoint_{start} {}
+
+void RandomWaypoint::pick_waypoint(sim::Rng& rng) {
+  waypoint_ = Position{rng.uniform_real(0.0, config_.area_width),
+                       rng.uniform_real(0.0, config_.area_height)};
+  speed_mps_ = rng.uniform_real(config_.speed_min_mps, config_.speed_max_mps);
+  has_waypoint_ = true;
+}
+
+Position RandomWaypoint::step(sim::Duration dt, sim::Rng& rng) {
+  double budget_s = dt.seconds();
+  while (budget_s > 1e-12) {
+    if (pause_left_ > sim::Duration{}) {
+      const double pause_s = std::min(budget_s, pause_left_.seconds());
+      pause_left_ = pause_left_ - sim::Duration::from_seconds(pause_s);
+      budget_s -= pause_s;
+      continue;
+    }
+    if (!has_waypoint_) pick_waypoint(rng);
+    const double dist = distance(pos_, waypoint_);
+    if (dist < 1e-9 || speed_mps_ <= 0.0) {
+      pause_left_ = config_.pause;
+      has_waypoint_ = false;
+      continue;
+    }
+    const double travel = std::min(dist, speed_mps_ * budget_s);
+    const Position dir = (waypoint_ - pos_) * (1.0 / dist);
+    pos_ = pos_ + dir * travel;
+    budget_s -= travel / speed_mps_;
+    if (distance(pos_, waypoint_) < 1e-9) {
+      pause_left_ = config_.pause;
+      has_waypoint_ = false;
+    }
+  }
+  return pos_;
+}
+
+MobilityManager::MobilityManager(sim::Simulator& sim, Medium& medium,
+                                 sim::Duration tick)
+    : sim_{sim},
+      medium_{medium},
+      tick_interval_{tick},
+      timer_{sim, tick, sim::Duration{}, [this] { this->tick(); }} {}
+
+void MobilityManager::set_model(NodeId id,
+                                std::unique_ptr<MobilityModel> model) {
+  models_[id] = std::move(model);
+}
+
+void MobilityManager::start() { timer_.start(); }
+void MobilityManager::stop() { timer_.stop(); }
+
+void MobilityManager::tick() {
+  for (auto& [id, model] : models_) {
+    if (!medium_.attached(id)) continue;
+    medium_.set_position(id, model->step(tick_interval_, sim_.rng()));
+  }
+}
+
+}  // namespace manet::net

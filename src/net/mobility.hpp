@@ -1,0 +1,82 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "net/medium.hpp"
+#include "net/position.hpp"
+#include "sim/rng.hpp"
+#include "sim/timer.hpp"
+
+namespace manet::net {
+
+/// Per-node movement model. `step` advances the node by dt and returns the
+/// new position; implementations must be deterministic given the Rng.
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+  virtual Position step(sim::Duration dt, sim::Rng& rng) = 0;
+  virtual Position current() const = 0;
+};
+
+/// A node that never moves.
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Position pos) : pos_{pos} {}
+  Position step(sim::Duration, sim::Rng&) override { return pos_; }
+  Position current() const override { return pos_; }
+
+ private:
+  Position pos_;
+};
+
+/// Classic random-waypoint: pick a uniform destination in the area, travel
+/// toward it at a uniform speed in [speed_min, speed_max], pause, repeat.
+class RandomWaypoint final : public MobilityModel {
+ public:
+  struct Config {
+    double area_width = 1000.0;
+    double area_height = 1000.0;
+    double speed_min_mps = 1.0;
+    double speed_max_mps = 5.0;
+    sim::Duration pause = sim::Duration::from_seconds(2.0);
+  };
+
+  RandomWaypoint(Position start, Config config);
+
+  Position step(sim::Duration dt, sim::Rng& rng) override;
+  Position current() const override { return pos_; }
+
+ private:
+  void pick_waypoint(sim::Rng& rng);
+
+  Config config_;
+  Position pos_;
+  Position waypoint_;
+  double speed_mps_ = 0.0;
+  sim::Duration pause_left_{};
+  bool has_waypoint_ = false;
+};
+
+/// Drives the mobility models of all nodes on a fixed tick, pushing updated
+/// positions into the medium.
+class MobilityManager {
+ public:
+  MobilityManager(sim::Simulator& sim, Medium& medium,
+                  sim::Duration tick = sim::Duration::from_ms(250));
+
+  void set_model(NodeId id, std::unique_ptr<MobilityModel> model);
+  void start();
+  void stop();
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  Medium& medium_;
+  sim::Duration tick_interval_;
+  std::map<NodeId, std::unique_ptr<MobilityModel>> models_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace manet::net

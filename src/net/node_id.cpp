@@ -1,0 +1,25 @@
+#include "net/node_id.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace manet::net {
+
+std::string NodeId::to_string() const {
+  if (!valid()) return "n?";
+  return "n" + std::to_string(value_);
+}
+
+NodeId NodeId::parse(const std::string& text) {
+  if (text.size() < 2 || text[0] != 'n')
+    throw std::invalid_argument{"bad NodeId: " + text};
+  std::uint32_t v = 0;
+  const auto* begin = text.data() + 1;
+  const auto* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end)
+    throw std::invalid_argument{"bad NodeId: " + text};
+  return NodeId{v};
+}
+
+}  // namespace manet::net

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace manet::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// A frame as seen by a receiver: who transmitted it on the air (the
+/// link-layer sender, not the originator of the routed message) and the
+/// payload bytes. OLSR parses the payload itself per RFC 3626 wire format.
+struct Packet {
+  NodeId transmitter;     ///< link-layer sender
+  NodeId link_dest;       ///< kInvalidNode for link-layer broadcast
+  Bytes payload;
+  sim::Time sent_at;      ///< transmission start time
+};
+
+}  // namespace manet::net

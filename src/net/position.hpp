@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cmath>
+
+namespace manet::net {
+
+/// 2-D position in meters.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Position operator+(Position a, Position b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Position operator-(Position a, Position b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Position operator*(Position a, double k) {
+    return {a.x * k, a.y * k};
+  }
+  friend constexpr bool operator==(Position a, Position b) {
+    return a.x == b.x && a.y == b.y;
+  }
+
+  double norm() const { return std::hypot(x, y); }
+};
+
+inline double distance(Position a, Position b) { return (a - b).norm(); }
+
+}  // namespace manet::net

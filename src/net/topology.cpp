@@ -1,0 +1,120 @@
+#include "net/topology.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace manet::net {
+
+std::vector<Position> grid_layout(std::size_t n, double spacing) {
+  const auto side = static_cast<std::size_t>(std::ceil(std::sqrt(n)));
+  std::vector<Position> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(Position{static_cast<double>(i % side) * spacing,
+                           static_cast<double>(i / side) * spacing});
+  }
+  return out;
+}
+
+std::vector<Position> chain_layout(std::size_t n, double spacing) {
+  std::vector<Position> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(Position{static_cast<double>(i) * spacing, 0.0});
+  return out;
+}
+
+std::vector<Position> ring_layout(std::size_t n, double radius) {
+  std::vector<Position> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double theta =
+        2.0 * std::numbers::pi * static_cast<double>(i) / static_cast<double>(n);
+    out.push_back(
+        Position{radius * std::cos(theta), radius * std::sin(theta)});
+  }
+  return out;
+}
+
+std::vector<Position> random_layout(std::size_t n, double width, double height,
+                                    double min_separation, sim::Rng& rng) {
+  std::vector<Position> out;
+  out.reserve(n);
+  constexpr int kMaxAttemptsPerNode = 1000;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < kMaxAttemptsPerNode; ++attempt) {
+      const Position candidate{rng.uniform_real(0.0, width),
+                               rng.uniform_real(0.0, height)};
+      bool ok = true;
+      for (const auto& existing : out) {
+        if (distance(candidate, existing) < min_separation) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        out.push_back(candidate);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed)
+      throw std::runtime_error{
+          "random_layout: could not satisfy min_separation"};
+  }
+  return out;
+}
+
+std::vector<Position> connected_random_layout(std::size_t n, double width,
+                                              double height,
+                                              double min_separation,
+                                              double range, sim::Rng& rng) {
+  constexpr int kMaxLayouts = 500;
+  for (int attempt = 0; attempt < kMaxLayouts; ++attempt) {
+    auto layout = random_layout(n, width, height, min_separation, rng);
+    if (is_connected(layout, range)) return layout;
+  }
+  throw std::runtime_error{
+      "connected_random_layout: no connected layout found; "
+      "increase range or shrink the area"};
+}
+
+std::vector<std::vector<std::size_t>> adjacency(
+    const std::vector<Position>& positions, double range) {
+  std::vector<std::vector<std::size_t>> adj(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions.size(); ++j) {
+      if (distance(positions[i], positions[j]) <= range) {
+        adj[i].push_back(j);
+        adj[j].push_back(i);
+      }
+    }
+  }
+  return adj;
+}
+
+bool is_connected(const std::vector<Position>& positions, double range) {
+  if (positions.empty()) return true;
+  const auto adj = adjacency(positions, range);
+  std::vector<bool> seen(positions.size(), false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const auto u = stack.back();
+    stack.pop_back();
+    for (auto v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        stack.push_back(v);
+      }
+    }
+  }
+  return visited == positions.size();
+}
+
+}  // namespace manet::net

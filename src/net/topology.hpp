@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "net/position.hpp"
+#include "sim/rng.hpp"
+
+namespace manet::net {
+
+/// Deterministic layouts for test/benchmark networks. All return one
+/// Position per node, index = node id value.
+
+/// Square-ish grid with the given spacing; nodes fill rows left-to-right.
+std::vector<Position> grid_layout(std::size_t n, double spacing);
+
+/// A straight line of nodes.
+std::vector<Position> chain_layout(std::size_t n, double spacing);
+
+/// Evenly spaced points on a circle.
+std::vector<Position> ring_layout(std::size_t n, double radius);
+
+/// Uniform random placement in a width x height box, rejecting placements
+/// closer than min_separation to an earlier node. Throws if it cannot place
+/// all nodes within a bounded number of attempts.
+std::vector<Position> random_layout(std::size_t n, double width, double height,
+                                    double min_separation, sim::Rng& rng);
+
+/// Like random_layout but retries whole layouts until the unit-disk graph at
+/// the given range is connected.
+std::vector<Position> connected_random_layout(std::size_t n, double width,
+                                              double height,
+                                              double min_separation,
+                                              double range, sim::Rng& rng);
+
+/// True if the unit-disk graph over the positions at `range` is connected.
+bool is_connected(const std::vector<Position>& positions, double range);
+
+/// Adjacency of the unit-disk graph (ground truth for tests).
+std::vector<std::vector<std::size_t>> adjacency(
+    const std::vector<Position>& positions, double range);
+
+}  // namespace manet::net

@@ -1,0 +1,647 @@
+#include "olsr/agent.hpp"
+
+#include <algorithm>
+
+#include "olsr/wire.hpp"
+
+namespace manet::olsr {
+namespace {
+
+std::vector<NodeId> set_to_vec(const std::set<NodeId>& s) {
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+Agent::Agent(sim::Simulator& sim, net::Medium& medium, NodeId id,
+             Config config, AgentHooks* hooks)
+    : sim_{sim},
+      medium_{medium},
+      id_{id},
+      config_{std::move(config)},
+      hooks_{hooks},
+      log_{config_.log_capacity},
+      hello_timer_{sim, config_.hello_interval, config_.jitter,
+                   [this] { emit_hello(); }},
+      tc_timer_{sim, config_.tc_interval, config_.jitter,
+                [this] { emit_tc(); }},
+      mid_timer_{sim, config_.mid_interval, config_.jitter,
+                 [this] {
+                   emit_mid();
+                   emit_hna();
+                 }},
+      housekeeping_timer_{sim, config_.housekeeping_interval, sim::Duration{},
+                          [this] { housekeep(); }} {}
+
+Agent::~Agent() { stop(); }
+
+void Agent::start() {
+  if (running_) return;
+  running_ = true;
+  auto handler = [this](const net::Packet& p) { handle_packet(p); };
+  if (medium_.attached(id_)) {
+    medium_.set_handler(id_, std::move(handler));
+  } else {
+    medium_.attach(id_, net::Position{}, std::move(handler));
+  }
+  hello_timer_.start();
+  tc_timer_.start();
+  if (!config_.extra_interfaces.empty() || !config_.hna_networks.empty())
+    mid_timer_.start();
+  housekeeping_timer_.start();
+  log_.append(make_record("daemon_start"));
+}
+
+void Agent::stop() {
+  if (!running_) return;
+  running_ = false;
+  hello_timer_.stop();
+  tc_timer_.stop();
+  mid_timer_.stop();
+  housekeeping_timer_.stop();
+  if (medium_.attached(id_)) medium_.set_handler(id_, {});
+  log_.append(make_record("daemon_stop"));
+}
+
+logging::LogRecord Agent::make_record(std::string event) const {
+  logging::LogRecord r;
+  r.time = sim_.now();
+  r.node = id_;
+  r.event = std::move(event);
+  return r;
+}
+
+std::vector<NodeId> Agent::mpr_selectors() const {
+  std::vector<NodeId> out;
+  for (const auto& [n, until] : mpr_selectors_)
+    if (until > sim_.now()) out.push_back(n);
+  return out;
+}
+
+bool Agent::is_symmetric_neighbor(NodeId n) const {
+  return links_.is_symmetric(sim_.now(), n);
+}
+
+KnowledgeGraph Agent::knowledge_graph() const {
+  KnowledgeGraph g;
+  const auto now = sim_.now();
+  // Edges touching ourselves come exclusively from the link set: RFC 3626
+  // §10 requires the first hop of any route to be a *symmetric* neighbor,
+  // so stale TC tuples must not resurrect a dead local link.
+  for (auto n : links_.symmetric_neighbors(now)) {
+    g[id_].insert(n);
+    g[n].insert(id_);
+  }
+  for (const auto& t : neighbors_.two_hop_tuples()) {
+    if (t.two_hop == id_) continue;
+    g[t.via].insert(t.two_hop);
+    g[t.two_hop].insert(t.via);
+  }
+  for (const auto& t : topology_.tuples()) {
+    if (t.dest == id_ || t.last_hop == id_) continue;
+    g[t.last_hop].insert(t.dest);
+    g[t.dest].insert(t.last_hop);
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------- emission
+
+void Agent::emit_hello() {
+  if (hooks_) hooks_->on_tick();
+
+  HelloMessage h;
+  h.htime = config_.hello_interval;
+  h.willingness = config_.willingness;
+  const auto now = sim_.now();
+
+  // Every link tuple is advertised with its current state (§6.2):
+  // SYM links carry the neighbor type (MPR if selected), heard-only links
+  // are advertised ASYM so the peer can upgrade them to symmetric.
+  std::vector<NodeId> asym;
+  for (auto n : links_.symmetric_neighbors(now)) {
+    const auto nt = mprs_.contains(n) ? NeighborType::kMprNeigh
+                                      : NeighborType::kSymNeigh;
+    h.add(LinkType::kSym, nt, n);
+  }
+  for (auto n : links_.asymmetric_neighbors(now)) {
+    asym.push_back(n);
+    h.add(LinkType::kAsym, NeighborType::kNotNeigh, n);
+  }
+
+  if (hooks_) hooks_->on_build_hello(h);
+
+  Message m;
+  m.header.type = MessageType::kHello;
+  m.header.vtime = config_.neighb_hold;
+  m.header.originator = id_;
+  m.header.ttl = 1;  // HELLOs are never forwarded (§6.1)
+  m.header.seq_num = next_msg_seq();
+  m.body = h;
+
+  auto rec = make_record("hello_sent");
+  rec.with("seq", static_cast<std::int64_t>(m.header.seq_num))
+      .with("neigh", logging::join_node_list(h.symmetric_neighbors()))
+      .with("asym", logging::join_node_list(asym))
+      .with("will", static_cast<std::int64_t>(h.willingness));
+  log_.append(std::move(rec));
+
+  ++stats_.hello_sent;
+  broadcast_message(std::move(m));
+}
+
+void Agent::emit_tc() {
+  const auto selectors = mpr_selectors();
+  if (selectors.empty()) return;  // §9.3: only MPRs originate TCs
+
+  TcMessage tc;
+  tc.ansn = ansn_;
+  tc.advertised = selectors;
+  if (hooks_) hooks_->on_build_tc(tc);
+
+  Message m;
+  m.header.type = MessageType::kTc;
+  m.header.vtime = config_.top_hold;
+  m.header.originator = id_;
+  m.header.ttl = kDefaultTtl;
+  m.header.seq_num = next_msg_seq();
+  m.body = tc;
+
+  auto rec = make_record("tc_sent");
+  rec.with("seq", static_cast<std::int64_t>(m.header.seq_num))
+      .with("ansn", static_cast<std::int64_t>(tc.ansn))
+      .with("adv", logging::join_node_list(tc.advertised));
+  log_.append(std::move(rec));
+
+  ++stats_.tc_sent;
+  duplicates_.record(sim_.now(), id_, m.header.seq_num, true,
+                     config_.dup_hold);
+  broadcast_message(std::move(m));
+}
+
+void Agent::emit_mid() {
+  if (config_.extra_interfaces.empty()) return;
+  MidMessage mid;
+  mid.interfaces = config_.extra_interfaces;
+
+  Message m;
+  m.header.type = MessageType::kMid;
+  m.header.vtime = kMidHoldTime;
+  m.header.originator = id_;
+  m.header.ttl = kDefaultTtl;
+  m.header.seq_num = next_msg_seq();
+  m.body = mid;
+
+  auto rec = make_record("mid_sent");
+  rec.with("seq", static_cast<std::int64_t>(m.header.seq_num))
+      .with("ifaces", logging::join_node_list(mid.interfaces));
+  log_.append(std::move(rec));
+
+  duplicates_.record(sim_.now(), id_, m.header.seq_num, true,
+                     config_.dup_hold);
+  broadcast_message(std::move(m));
+}
+
+void Agent::emit_hna() {
+  if (config_.hna_networks.empty()) return;
+  HnaMessage hna;
+  hna.entries = config_.hna_networks;
+
+  Message m;
+  m.header.type = MessageType::kHna;
+  m.header.vtime = kHnaHoldTime;
+  m.header.originator = id_;
+  m.header.ttl = kDefaultTtl;
+  m.header.seq_num = next_msg_seq();
+  m.body = hna;
+
+  auto rec = make_record("hna_sent");
+  rec.with("seq", static_cast<std::int64_t>(m.header.seq_num))
+      .with("count", static_cast<std::int64_t>(hna.entries.size()));
+  log_.append(std::move(rec));
+
+  duplicates_.record(sim_.now(), id_, m.header.seq_num, true,
+                     config_.dup_hold);
+  broadcast_message(std::move(m));
+}
+
+void Agent::broadcast_message(Message m) {
+  OlsrPacket p;
+  p.seq_num = next_pkt_seq();
+  p.messages.push_back(std::move(m));
+  medium_.broadcast(id_, serialize_packet(p));
+}
+
+void Agent::raw_broadcast(Message message) {
+  OlsrPacket p;
+  p.seq_num = next_pkt_seq();
+  p.messages.push_back(std::move(message));
+  medium_.broadcast(id_, serialize_packet(p));
+}
+
+// ---------------------------------------------------------------- reception
+
+void Agent::handle_packet(const net::Packet& packet) {
+  OlsrPacket parsed;
+  try {
+    parsed = parse_packet(packet.payload);
+  } catch (const WireError&) {
+    ++stats_.parse_errors;
+    auto rec = make_record("packet_parse_error");
+    rec.with("from", packet.transmitter);
+    log_.append(std::move(rec));
+    return;
+  }
+
+  for (const auto& m : parsed.messages) {
+    if (hooks_) hooks_->on_receive(m);
+    if (m.header.originator == id_) {
+      // A retransmission of our own message: evidence that the transmitter
+      // actually forwards our traffic (used by E2 drop detection).
+      if (m.header.hop_count > 0) {
+        auto rec = make_record("own_fwd_heard");
+        rec.with("by", packet.transmitter)
+            .with("seq", static_cast<std::int64_t>(m.header.seq_num))
+            .with("type",
+                  static_cast<std::int64_t>(static_cast<int>(m.header.type)));
+        log_.append(std::move(rec));
+      }
+      continue;
+    }
+    switch (m.header.type) {
+      case MessageType::kHello:
+        process_hello(m, packet.transmitter);
+        break;
+      case MessageType::kTc:
+        process_tc(m, packet.transmitter);
+        break;
+      case MessageType::kMid:
+        process_mid(m, packet.transmitter);
+        break;
+      case MessageType::kHna:
+        process_hna(m, packet.transmitter);
+        break;
+      case MessageType::kData:
+        process_data(m, packet.transmitter);
+        break;
+    }
+  }
+}
+
+void Agent::process_hello(const Message& m, NodeId transmitter) {
+  const auto* hello = m.as_hello();
+  if (!hello) return;
+  const NodeId from = m.header.originator;
+  ++stats_.hello_recv;
+
+  // Link sensing: does the HELLO list us, and with which code?
+  bool lists_us = false;
+  bool lost_us = false;
+  bool selects_us_mpr = false;
+  for (const auto& [code, addrs] : hello->link_groups) {
+    const bool has_us =
+        std::find(addrs.begin(), addrs.end(), id_) != addrs.end();
+    if (!has_us) continue;
+    if (link_type_of(code) == LinkType::kLost) {
+      lost_us = true;
+    } else {
+      lists_us = true;
+    }
+    if (neighbor_type_of(code) == NeighborType::kMprNeigh) selects_us_mpr = true;
+  }
+
+  const auto change =
+      links_.on_hello(sim_.now(), from, lists_us, lost_us, m.header.vtime);
+  const bool now_sym = links_.is_symmetric(sim_.now(), from);
+  neighbors_.upsert_neighbor(from, hello->willingness, now_sym);
+
+  const auto advertised_sym = hello->symmetric_neighbors();
+  std::vector<NodeId> advertised_asym;
+  for (const auto& [code, addrs] : hello->link_groups) {
+    if (link_type_of(code) == LinkType::kAsym &&
+        neighbor_type_of(code) == NeighborType::kNotNeigh)
+      advertised_asym.insert(advertised_asym.end(), addrs.begin(),
+                             addrs.end());
+  }
+  auto rec = make_record("hello_recv");
+  rec.with("from", from)
+      .with("seq", static_cast<std::int64_t>(m.header.seq_num))
+      .with("sym", logging::join_node_list(advertised_sym))
+      .with("asym", logging::join_node_list(advertised_asym))
+      .with("lists_us", lists_us ? "1" : "0")
+      .with("will", static_cast<std::int64_t>(hello->willingness));
+  log_.append(std::move(rec));
+
+  if (change == LinkSet::Change::kBecameSym) {
+    auto r = make_record("link_sym");
+    r.with("nbr", from);
+    log_.append(std::move(r));
+  } else if (change == LinkSet::Change::kLost) {
+    auto r = make_record("link_lost");
+    r.with("nbr", from);
+    log_.append(std::move(r));
+  }
+
+  // 2-hop set (§8.1.1): symmetric neighbors advertised by a symmetric
+  // neighbor, ourselves excluded.
+  if (now_sym) {
+    std::vector<NodeId> two_hops;
+    for (auto n : advertised_sym)
+      if (n != id_) two_hops.push_back(n);
+    const auto before = neighbors_.two_hops_via(from);
+    neighbors_.set_two_hops_via(from, two_hops, sim_.now() + m.header.vtime);
+    const auto after = neighbors_.two_hops_via(from);
+    if (before != after) {
+      auto r = make_record("two_hop_update");
+      r.with("via", from)
+          .with("nodes", logging::join_node_list(set_to_vec(after)));
+      log_.append(std::move(r));
+    }
+  }
+
+  // MPR selector set (§8.4.1).
+  const bool was_selector =
+      mpr_selectors_.contains(from) && mpr_selectors_[from] > sim_.now();
+  if (selects_us_mpr && now_sym) {
+    mpr_selectors_[from] = sim_.now() + m.header.vtime;
+    if (!was_selector) {
+      ++ansn_;
+      auto r = make_record("mpr_selector_add");
+      r.with("nbr", from);
+      log_.append(std::move(r));
+    }
+  } else if (was_selector && lists_us && !selects_us_mpr) {
+    mpr_selectors_.erase(from);
+    ++ansn_;
+    auto r = make_record("mpr_selector_del");
+    r.with("nbr", from);
+    log_.append(std::move(r));
+  }
+
+  recompute_mprs();
+  recompute_routes();
+}
+
+void Agent::process_tc(const Message& m, NodeId transmitter) {
+  const auto* tc = m.as_tc();
+  if (!tc) return;
+  // §9.5 rule 1: discard unless the sender interface is a symmetric neighbor.
+  if (!links_.is_symmetric(sim_.now(), transmitter)) return;
+  if (duplicates_.seen(m.header.originator, m.header.seq_num)) {
+    maybe_forward(m, transmitter);
+    return;
+  }
+  ++stats_.tc_recv;
+
+  const NodeId origin = mid_set_.main_address_of(m.header.originator);
+  const bool applied = topology_.on_tc(sim_.now(), origin, tc->ansn,
+                                       tc->advertised, m.header.vtime);
+  auto rec = make_record("tc_recv");
+  rec.with("orig", origin)
+      .with("via", transmitter)
+      .with("seq", static_cast<std::int64_t>(m.header.seq_num))
+      .with("ansn", static_cast<std::int64_t>(tc->ansn))
+      .with("adv", logging::join_node_list(tc->advertised))
+      .with("applied", applied ? "1" : "0");
+  log_.append(std::move(rec));
+
+  recompute_routes();
+  maybe_forward(m, transmitter);
+}
+
+void Agent::process_mid(const Message& m, NodeId transmitter) {
+  const auto* mid = m.as_mid();
+  if (!mid) return;
+  if (!links_.is_symmetric(sim_.now(), transmitter)) return;
+  if (!duplicates_.seen(m.header.originator, m.header.seq_num)) {
+    mid_set_.on_mid(sim_.now(), m.header.originator, mid->interfaces,
+                    m.header.vtime);
+    auto rec = make_record("mid_recv");
+    rec.with("orig", m.header.originator)
+        .with("ifaces", logging::join_node_list(mid->interfaces));
+    log_.append(std::move(rec));
+  }
+  maybe_forward(m, transmitter);
+}
+
+void Agent::process_hna(const Message& m, NodeId transmitter) {
+  const auto* hna = m.as_hna();
+  if (!hna) return;
+  if (!links_.is_symmetric(sim_.now(), transmitter)) return;
+  if (!duplicates_.seen(m.header.originator, m.header.seq_num)) {
+    hna_set_.on_hna(sim_.now(), m.header.originator, hna->entries,
+                    m.header.vtime);
+    auto rec = make_record("hna_recv");
+    rec.with("orig", m.header.originator)
+        .with("count", static_cast<std::int64_t>(hna->entries.size()));
+    log_.append(std::move(rec));
+  }
+  maybe_forward(m, transmitter);
+}
+
+void Agent::maybe_forward(const Message& m, NodeId transmitter) {
+  // Default forwarding algorithm (§3.4.1).
+  if (!links_.is_symmetric(sim_.now(), transmitter)) return;
+  if (duplicates_.forwarded(m.header.originator, m.header.seq_num)) return;
+
+  const bool transmitter_selected_us = [&] {
+    auto it = mpr_selectors_.find(transmitter);
+    return it != mpr_selectors_.end() && it->second > sim_.now();
+  }();
+
+  const bool forward =
+      transmitter_selected_us && m.header.ttl > 1;
+  duplicates_.record(sim_.now(), m.header.originator, m.header.seq_num,
+                     forward, config_.dup_hold);
+  if (!forward) return;
+
+  Message copy = m;
+  copy.header.ttl = static_cast<std::uint8_t>(copy.header.ttl - 1);
+  copy.header.hop_count = static_cast<std::uint8_t>(copy.header.hop_count + 1);
+
+  if (hooks_) {
+    if (!hooks_->should_forward(copy)) {
+      // A silent drop: the daemon of an attacker does not log its own
+      // misbehaviour; detection must come from neighbors' logs.
+      return;
+    }
+    hooks_->on_forward(copy);
+  }
+
+  ++stats_.msgs_forwarded;
+  auto rec = make_record("msg_fwd");
+  rec.with("type", static_cast<std::int64_t>(static_cast<int>(m.header.type)))
+      .with("orig", m.header.originator)
+      .with("seq", static_cast<std::int64_t>(m.header.seq_num));
+  log_.append(std::move(rec));
+
+  // Small forwarding jitter (§3.4.1 note).
+  const auto delay = sim::Duration::from_us(sim_.rng().uniform_int(0, 100'000));
+  sim_.schedule(delay, [this, copy = std::move(copy)]() mutable {
+    if (running_) broadcast_message(std::move(copy));
+  });
+}
+
+// ---------------------------------------------------------------- data plane
+
+Agent::SendStatus Agent::send_data(NodeId dest, std::uint16_t protocol,
+                                   std::vector<std::uint8_t> payload,
+                                   const std::set<NodeId>& avoid) {
+  const auto graph = knowledge_graph();
+  auto path = RoutingTable::shortest_path(graph, id_, dest, avoid);
+  if (!path) {
+    auto rec = make_record("data_no_route");
+    rec.with("dest", dest);
+    log_.append(std::move(rec));
+    return SendStatus::kNoRoute;
+  }
+  send_data_via(std::move(*path), protocol, std::move(payload));
+  return SendStatus::kSent;
+}
+
+void Agent::send_data_via(std::vector<NodeId> route, std::uint16_t protocol,
+                          std::vector<std::uint8_t> payload) {
+  if (route.empty()) return;
+  DataMessage d;
+  d.source = id_;
+  d.destination = route.back();
+  d.protocol = protocol;
+  d.payload = std::move(payload);
+  const NodeId next = route.front();
+  d.route.assign(route.begin() + 1, route.end());
+
+  Message m;
+  m.header.type = MessageType::kData;
+  m.header.vtime = config_.top_hold;
+  m.header.originator = id_;
+  m.header.ttl = kDefaultTtl;
+  m.header.seq_num = next_msg_seq();
+
+  auto rec = make_record("data_sent");
+  rec.with("dest", d.destination)
+      .with("proto", static_cast<std::int64_t>(protocol))
+      .with("route", logging::join_node_list(route));
+  log_.append(std::move(rec));
+
+  m.body = std::move(d);
+  ++stats_.data_sent;
+  OlsrPacket p;
+  p.seq_num = next_pkt_seq();
+  p.messages.push_back(std::move(m));
+  medium_.unicast(id_, next, serialize_packet(p));
+}
+
+void Agent::process_data(const Message& m, NodeId transmitter) {
+  const auto* data = m.as_data();
+  if (!data) return;
+
+  if (data->destination == id_) {
+    ++stats_.data_delivered;
+    auto rec = make_record("data_recv");
+    rec.with("src", data->source)
+        .with("proto", static_cast<std::int64_t>(data->protocol))
+        .with("via", transmitter);
+    log_.append(std::move(rec));
+    if (data_handler_) data_handler_(*data);
+    return;
+  }
+
+  if (data->route.empty() || m.header.ttl <= 1) {
+    ++stats_.data_dropped;
+    auto rec = make_record("data_drop");
+    rec.with("src", data->source).with("reason", "route_exhausted");
+    log_.append(std::move(rec));
+    return;
+  }
+
+  if (hooks_ && !hooks_->should_relay_data(*data)) {
+    // Attacker silently discards; no log (its own daemon hides misconduct).
+    ++stats_.data_dropped;
+    return;
+  }
+
+  Message copy = m;
+  auto& d = std::get<DataMessage>(copy.body);
+  const NodeId next = d.route.front();
+  d.route.erase(d.route.begin());
+  d.trace.push_back(id_);
+  copy.header.ttl = static_cast<std::uint8_t>(copy.header.ttl - 1);
+  copy.header.hop_count = static_cast<std::uint8_t>(copy.header.hop_count + 1);
+
+  ++stats_.data_relayed;
+  auto rec = make_record("data_fwd");
+  rec.with("src", d.source).with("dest", d.destination).with("next", next);
+  log_.append(std::move(rec));
+
+  OlsrPacket p;
+  p.seq_num = next_pkt_seq();
+  p.messages.push_back(std::move(copy));
+  medium_.unicast(id_, next, serialize_packet(p));
+}
+
+// ---------------------------------------------------------------- upkeep
+
+void Agent::housekeep() {
+  const auto now = sim_.now();
+  const auto lost = links_.expire(now);
+  for (auto n : lost) {
+    neighbors_.remove_neighbor(n);
+    auto rec = make_record("link_lost");
+    rec.with("nbr", n);
+    log_.append(std::move(rec));
+  }
+  neighbors_.expire_two_hops(now);
+  topology_.expire(now);
+  duplicates_.expire(now);
+  mid_set_.expire(now);
+  hna_set_.expire(now);
+  for (auto it = mpr_selectors_.begin(); it != mpr_selectors_.end();) {
+    if (it->second <= now) {
+      auto rec = make_record("mpr_selector_del");
+      rec.with("nbr", it->first);
+      log_.append(std::move(rec));
+      it = mpr_selectors_.erase(it);
+      ++ansn_;
+    } else {
+      ++it;
+    }
+  }
+  recompute_mprs();
+  recompute_routes();
+}
+
+void Agent::recompute_mprs() {
+  MprInputs in;
+  const auto now = sim_.now();
+  for (auto n : links_.symmetric_neighbors(now))
+    in.neighbors[n] = neighbors_.willingness_of(n);
+  in.reach = neighbors_.reachability(id_);
+
+  auto fresh = select_mprs(in, config_.prune_redundant_mprs);
+  if (fresh == mprs_) return;
+
+  std::vector<NodeId> added, removed;
+  for (auto n : fresh)
+    if (!mprs_.contains(n)) added.push_back(n);
+  for (auto n : mprs_)
+    if (!fresh.contains(n)) removed.push_back(n);
+
+  mprs_ = std::move(fresh);
+  auto rec = make_record("mpr_changed");
+  rec.with("mprs", logging::join_node_list(set_to_vec(mprs_)))
+      .with("added", logging::join_node_list(added))
+      .with("removed", logging::join_node_list(removed));
+  log_.append(std::move(rec));
+}
+
+void Agent::recompute_routes() {
+  const auto [added, removed] = routing_.recompute(id_, knowledge_graph());
+  if (added.empty() && removed.empty()) return;
+  auto rec = make_record("routes_changed");
+  rec.with("added", logging::join_node_list(added))
+      .with("removed", logging::join_node_list(removed))
+      .with("size", static_cast<std::int64_t>(routing_.size()));
+  log_.append(std::move(rec));
+}
+
+}  // namespace manet::olsr

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+
+#include "logging/log_store.hpp"
+#include "net/medium.hpp"
+#include "olsr/assoc_sets.hpp"
+#include "olsr/constants.hpp"
+#include "olsr/duplicate_set.hpp"
+#include "olsr/hooks.hpp"
+#include "olsr/link_set.hpp"
+#include "olsr/messages.hpp"
+#include "olsr/mpr_selection.hpp"
+#include "olsr/neighbor_table.hpp"
+#include "olsr/routing_table.hpp"
+#include "olsr/topology_set.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace manet::olsr {
+
+/// Per-message-type traffic counters (overhead bench, Table B).
+struct AgentStats {
+  std::uint64_t hello_sent = 0;
+  std::uint64_t hello_recv = 0;
+  std::uint64_t tc_sent = 0;
+  std::uint64_t tc_recv = 0;
+  std::uint64_t msgs_forwarded = 0;
+  std::uint64_t data_sent = 0;
+  std::uint64_t data_relayed = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_dropped = 0;
+  std::uint64_t parse_errors = 0;
+};
+
+/// One OLSR routing daemon (RFC 3626 core: link sensing, HELLO/TC/MID/HNA,
+/// MPR selection and flooding, routing-table calculation), attached to the
+/// shared medium. Every protocol-relevant action is appended to the node's
+/// audit LogStore — the paper's IDS consumes *only* that log plus the
+/// investigation answers, never the agent's in-memory state.
+class Agent {
+ public:
+  struct Config {
+    sim::Duration hello_interval = kHelloInterval;
+    sim::Duration tc_interval = kTcInterval;
+    sim::Duration mid_interval = kMidInterval;
+    /// Emission jitter, subtracted uniformly from each interval (§18.3).
+    sim::Duration jitter = sim::Duration::from_ms(100);
+    sim::Duration neighb_hold = kNeighbHoldTime;
+    sim::Duration top_hold = kTopHoldTime;
+    sim::Duration dup_hold = kDupHoldTime;
+    sim::Duration housekeeping_interval = sim::Duration::from_ms(500);
+    Willingness willingness = Willingness::kDefault;
+    /// Additional interface addresses; a non-empty list enables MID
+    /// emission (multi-homed node).
+    std::vector<NodeId> extra_interfaces;
+    /// External networks this node gateways for; enables HNA emission.
+    std::vector<HnaMessage::Entry> hna_networks;
+    bool prune_redundant_mprs = false;
+    std::size_t log_capacity = 100'000;
+  };
+
+  /// Receives the full DATA message: source, protocol and payload plus the
+  /// relay trace (needed by responders answering over the reverse path).
+  using DataHandler = std::function<void(const DataMessage& message)>;
+
+  Agent(sim::Simulator& sim, net::Medium& medium, NodeId id, Config config,
+        AgentHooks* hooks = nullptr);
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  /// Re-points the interposition hooks (must not outlive the hooks object).
+  void set_hooks(AgentHooks* hooks) { hooks_ = hooks; }
+
+  NodeId id() const { return id_; }
+  const Config& config() const { return config_; }
+
+  // --- state inspection (tests, responder answers, benches) ---
+  const LinkSet& links() const { return links_; }
+  const NeighborTable& neighbors() const { return neighbors_; }
+  const TopologySet& topology() const { return topology_; }
+  const RoutingTable& routes() const { return routing_; }
+  const MidSet& mid_set() const { return mid_set_; }
+  const HnaSet& hna_set() const { return hna_set_; }
+  const std::set<NodeId>& mpr_set() const { return mprs_; }
+  std::vector<NodeId> mpr_selectors() const;
+  bool is_symmetric_neighbor(NodeId n) const;
+  const AgentStats& stats() const { return stats_; }
+
+  /// The adjacency this node believes in (link set + 2-hop + TC topology).
+  KnowledgeGraph knowledge_graph() const;
+
+  // --- audit log (the IDS's only window into the daemon) ---
+  logging::LogStore& log() { return log_; }
+  const logging::LogStore& log() const { return log_; }
+
+  // --- application data plane (carrier of the investigation protocol) ---
+  enum class SendStatus { kSent, kNoRoute };
+  /// Source-routes a unicast payload to `dest`, avoiding `avoid` as relays.
+  SendStatus send_data(NodeId dest, std::uint16_t protocol,
+                       std::vector<std::uint8_t> payload,
+                       const std::set<NodeId>& avoid = {});
+  /// Sends along an explicit relay list (destination last).
+  void send_data_via(std::vector<NodeId> route, std::uint16_t protocol,
+                     std::vector<std::uint8_t> payload);
+  void set_data_handler(DataHandler handler) { data_handler_ = std::move(handler); }
+
+  /// Injects a raw, attacker-crafted message into the medium as if this
+  /// agent emitted it (used by forge attacks; normal code has no use for it).
+  void raw_broadcast(Message message);
+
+ private:
+  void handle_packet(const net::Packet& packet);
+  void process_hello(const Message& m, NodeId transmitter);
+  void process_tc(const Message& m, NodeId transmitter);
+  void process_mid(const Message& m, NodeId transmitter);
+  void process_hna(const Message& m, NodeId transmitter);
+  void process_data(const Message& m, NodeId transmitter);
+  void maybe_forward(const Message& m, NodeId transmitter);
+
+  void emit_hello();
+  void emit_tc();
+  void emit_mid();
+  void emit_hna();
+  void housekeep();
+
+  void recompute_mprs();
+  void recompute_routes();
+  void broadcast_message(Message m);
+
+  std::uint16_t next_msg_seq() { return msg_seq_++; }
+  std::uint16_t next_pkt_seq() { return pkt_seq_++; }
+
+  logging::LogRecord make_record(std::string event) const;
+
+  sim::Simulator& sim_;
+  net::Medium& medium_;
+  NodeId id_;
+  Config config_;
+  AgentHooks* hooks_;
+
+  logging::LogStore log_;
+  LinkSet links_;
+  NeighborTable neighbors_;
+  TopologySet topology_;
+  DuplicateSet duplicates_;
+  MidSet mid_set_;
+  HnaSet hna_set_;
+  RoutingTable routing_;
+  std::set<NodeId> mprs_;
+  std::map<NodeId, sim::Time> mpr_selectors_;  // -> valid_until
+
+  std::uint16_t msg_seq_ = 1;
+  std::uint16_t pkt_seq_ = 1;
+  std::uint16_t ansn_ = 1;
+  bool running_ = false;
+
+  sim::PeriodicTimer hello_timer_;
+  sim::PeriodicTimer tc_timer_;
+  sim::PeriodicTimer mid_timer_;
+  sim::PeriodicTimer housekeeping_timer_;
+
+  DataHandler data_handler_;
+  AgentStats stats_;
+};
+
+}  // namespace manet::olsr

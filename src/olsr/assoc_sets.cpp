@@ -1,0 +1,60 @@
+#include "olsr/assoc_sets.hpp"
+
+namespace manet::olsr {
+
+void MidSet::on_mid(sim::Time now, NodeId main,
+                    const std::vector<NodeId>& ifaces, sim::Duration vtime) {
+  for (auto iface : ifaces) {
+    auto& t = assoc_[iface];
+    t.main = main;
+    t.valid_until = now + vtime;
+  }
+}
+
+void MidSet::expire(sim::Time now) {
+  for (auto it = assoc_.begin(); it != assoc_.end();) {
+    if (it->second.valid_until <= now)
+      it = assoc_.erase(it);
+    else
+      ++it;
+  }
+}
+
+NodeId MidSet::main_address_of(NodeId iface) const {
+  auto it = assoc_.find(iface);
+  return it == assoc_.end() ? iface : it->second.main;
+}
+
+std::vector<NodeId> MidSet::interfaces_of(NodeId main) const {
+  std::vector<NodeId> out;
+  for (const auto& [iface, t] : assoc_)
+    if (t.main == main) out.push_back(iface);
+  return out;
+}
+
+void HnaSet::on_hna(sim::Time now, NodeId gateway,
+                    const std::vector<HnaMessage::Entry>& entries,
+                    sim::Duration vtime) {
+  for (const auto& e : entries)
+    tuples_[Key{gateway, e.network, e.prefix_len}] = now + vtime;
+}
+
+void HnaSet::expire(sim::Time now) {
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (it->second <= now)
+      it = tuples_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::vector<NodeId> HnaSet::gateways_for(std::uint32_t network,
+                                         std::uint8_t prefix_len) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, _] : tuples_)
+    if (key.network == network && key.prefix_len == prefix_len)
+      out.push_back(key.gateway);
+  return out;
+}
+
+}  // namespace manet::olsr

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "olsr/messages.hpp"
+#include "sim/time.hpp"
+
+namespace manet::olsr {
+
+using net::NodeId;
+
+/// Interface association set (§5.4), built from MID messages: maps an
+/// interface address to the originator's main address so multi-homed nodes
+/// are identified uniquely (the paper notes identity spoofing must be
+/// distinguished from legitimate multi-interface declarations).
+class MidSet {
+ public:
+  void on_mid(sim::Time now, NodeId main, const std::vector<NodeId>& ifaces,
+              sim::Duration vtime);
+  void expire(sim::Time now);
+
+  /// Resolves an interface address to the node's main address; identity if
+  /// unknown (§5.4 resolution rule).
+  NodeId main_address_of(NodeId iface) const;
+  std::vector<NodeId> interfaces_of(NodeId main) const;
+  std::size_t size() const { return assoc_.size(); }
+
+ private:
+  struct Tuple {
+    NodeId main;
+    sim::Time valid_until{};
+  };
+  std::map<NodeId, Tuple> assoc_;  // iface -> main
+};
+
+/// Association set for external routes (§12.5), built from HNA messages.
+class HnaSet {
+ public:
+  void on_hna(sim::Time now, NodeId gateway,
+              const std::vector<HnaMessage::Entry>& entries,
+              sim::Duration vtime);
+  void expire(sim::Time now);
+
+  /// Gateways currently advertising the given network.
+  std::vector<NodeId> gateways_for(std::uint32_t network,
+                                   std::uint8_t prefix_len) const;
+  std::size_t size() const { return tuples_.size(); }
+
+ private:
+  struct Key {
+    NodeId gateway;
+    std::uint32_t network;
+    std::uint8_t prefix_len;
+    auto operator<=>(const Key&) const = default;
+  };
+  std::map<Key, sim::Time> tuples_;  // -> valid_until
+};
+
+}  // namespace manet::olsr

@@ -1,0 +1,30 @@
+#include "olsr/duplicate_set.hpp"
+
+namespace manet::olsr {
+
+bool DuplicateSet::seen(NodeId originator, std::uint16_t seq) const {
+  return tuples_.contains({originator, seq});
+}
+
+bool DuplicateSet::forwarded(NodeId originator, std::uint16_t seq) const {
+  auto it = tuples_.find({originator, seq});
+  return it != tuples_.end() && it->second.forwarded;
+}
+
+void DuplicateSet::record(sim::Time now, NodeId originator, std::uint16_t seq,
+                          bool forwarded, sim::Duration hold) {
+  auto& t = tuples_[{originator, seq}];
+  t.valid_until = now + hold;
+  t.forwarded = t.forwarded || forwarded;
+}
+
+void DuplicateSet::expire(sim::Time now) {
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (it->second.valid_until <= now)
+      it = tuples_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace manet::olsr

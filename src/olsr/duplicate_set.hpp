@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace manet::olsr {
+
+using net::NodeId;
+
+/// Duplicate set (§3.4.1): remembers processed/forwarded messages so the
+/// default forwarding algorithm floods each message at most once per node.
+class DuplicateSet {
+ public:
+  /// True if (originator, seq) was already processed.
+  bool seen(NodeId originator, std::uint16_t seq) const;
+
+  /// True if it was already retransmitted by this node.
+  bool forwarded(NodeId originator, std::uint16_t seq) const;
+
+  /// Records a processed message; optionally marks it forwarded.
+  void record(sim::Time now, NodeId originator, std::uint16_t seq,
+              bool forwarded, sim::Duration hold);
+
+  void expire(sim::Time now);
+  std::size_t size() const { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    sim::Time valid_until{};
+    bool forwarded = false;
+  };
+  std::map<std::pair<NodeId, std::uint16_t>, Tuple> tuples_;
+};
+
+}  // namespace manet::olsr

@@ -1,0 +1,50 @@
+#pragma once
+
+#include "olsr/messages.hpp"
+
+namespace manet::olsr {
+
+/// Interposition points an attacker implementation can override. The
+/// well-behaving agent uses the no-op defaults; src/attacks provides the
+/// misbehaving variants. Keeping the interface here lets olsr stay
+/// independent of the attacks library.
+class AgentHooks {
+ public:
+  virtual ~AgentHooks() = default;
+
+  /// Called after the agent builds its truthful HELLO, before serialization.
+  /// Link spoofing and willingness manipulation rewrite the message here.
+  virtual void on_build_hello(HelloMessage& hello) { (void)hello; }
+
+  /// Called after the agent builds its truthful TC.
+  virtual void on_build_tc(TcMessage& tc) { (void)tc; }
+
+  /// Return false to silently drop instead of forwarding a flooded control
+  /// message (blackhole / grayhole).
+  virtual bool should_forward(const Message& message) {
+    (void)message;
+    return true;
+  }
+
+  /// Mutate a message about to be forwarded (modify-and-forward attacks,
+  /// e.g. sequence-number inflation).
+  virtual void on_forward(Message& message) { (void)message; }
+
+  /// Return false to drop a source-routed DATA message instead of relaying
+  /// it (an attacker starving the investigation of answers).
+  virtual bool should_relay_data(const DataMessage& data) {
+    (void)data;
+    return true;
+  }
+
+  /// Called once per HELLO emission tick, letting an attacker inject extra
+  /// forged traffic (broadcast storm, replay).
+  virtual void on_tick() {}
+
+  /// Observes every message the agent receives and parses (before normal
+  /// processing). A wormhole endpoint records messages here for replay at
+  /// the colluding end.
+  virtual void on_receive(const Message& message) { (void)message; }
+};
+
+}  // namespace manet::olsr

@@ -1,0 +1,75 @@
+#include "olsr/link_set.hpp"
+
+namespace manet::olsr {
+
+LinkSet::Change LinkSet::on_hello(sim::Time now, NodeId neighbor,
+                                  bool lists_us, bool lost_us,
+                                  sim::Duration vtime) {
+  auto& tuple = links_[neighbor];
+  const bool was_sym = tuple.neighbor.valid() && tuple.symmetric(now);
+  tuple.neighbor = neighbor;
+
+  // §7.1.1: hearing any HELLO refreshes the asymmetric timer.
+  tuple.asym_until = now + vtime;
+  if (lost_us) {
+    tuple.sym_until = now;  // link declared lost by the neighbor
+  } else if (lists_us) {
+    tuple.sym_until = now + vtime;
+  }
+  tuple.valid_until = std::max(tuple.asym_until, tuple.sym_until);
+
+  const bool is_sym = tuple.symmetric(now);
+  was_symmetric_[neighbor] = is_sym;
+  if (is_sym && !was_sym) return Change::kBecameSym;
+  if (!is_sym && was_sym) return Change::kLost;
+  if (!is_sym) return Change::kBecameAsym;
+  return Change::kNone;
+}
+
+std::vector<NodeId> LinkSet::expire(sim::Time now) {
+  std::vector<NodeId> downgraded;
+  for (auto it = links_.begin(); it != links_.end();) {
+    const auto id = it->first;
+    const bool was_sym = was_symmetric_[id];
+    const bool now_sym = it->second.symmetric(now);
+    if (it->second.valid_until <= now) {
+      if (was_sym) downgraded.push_back(id);
+      was_symmetric_.erase(id);
+      it = links_.erase(it);
+      continue;
+    }
+    if (was_sym && !now_sym) {
+      downgraded.push_back(id);
+      was_symmetric_[id] = false;
+    }
+    ++it;
+  }
+  return downgraded;
+}
+
+bool LinkSet::is_symmetric(sim::Time now, NodeId neighbor) const {
+  auto it = links_.find(neighbor);
+  return it != links_.end() && it->second.symmetric(now);
+}
+
+std::optional<LinkTuple> LinkSet::get(NodeId neighbor) const {
+  auto it = links_.find(neighbor);
+  if (it == links_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> LinkSet::symmetric_neighbors(sim::Time now) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, tuple] : links_)
+    if (tuple.symmetric(now)) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> LinkSet::asymmetric_neighbors(sim::Time now) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, tuple] : links_)
+    if (tuple.asymmetric(now)) out.push_back(id);
+  return out;
+}
+
+}  // namespace manet::olsr

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "olsr/constants.hpp"
+#include "sim/time.hpp"
+
+namespace manet::olsr {
+
+using net::NodeId;
+
+/// A link tuple (RFC 3626 §4.2): local view of the link to one neighbor
+/// interface. The link is ASYM while only we hear them, SYM once the
+/// neighbor's HELLO lists us.
+struct LinkTuple {
+  NodeId neighbor;
+  sim::Time asym_until{};  ///< L_ASYM_time
+  sim::Time sym_until{};   ///< L_SYM_time
+  sim::Time valid_until{}; ///< L_time
+
+  bool symmetric(sim::Time now) const { return sym_until > now; }
+  bool asymmetric(sim::Time now) const {
+    return !symmetric(now) && asym_until > now;
+  }
+  bool lost(sim::Time now) const { return !symmetric(now) && !asymmetric(now); }
+};
+
+/// Link sensing repository (§7). Pure state machine over HELLO receptions;
+/// the Agent feeds it and reacts to the reported transitions.
+class LinkSet {
+ public:
+  enum class Change { kNone, kBecameSym, kBecameAsym, kLost };
+
+  /// Processes one received HELLO from `neighbor`. `lists_us` is whether our
+  /// own address appears in the HELLO (with a non-LOST link code), which
+  /// upgrades the link to symmetric. `lost_us` means the neighbor explicitly
+  /// advertised our link as LOST.
+  Change on_hello(sim::Time now, NodeId neighbor, bool lists_us, bool lost_us,
+                  sim::Duration vtime);
+
+  /// Expires stale tuples; returns neighbors whose link was dropped or
+  /// downgraded from symmetric since the last call.
+  std::vector<NodeId> expire(sim::Time now);
+
+  bool is_symmetric(sim::Time now, NodeId neighbor) const;
+  std::optional<LinkTuple> get(NodeId neighbor) const;
+  std::vector<NodeId> symmetric_neighbors(sim::Time now) const;
+  /// Heard-only (ASYM) links — advertised so the peer can upgrade them.
+  std::vector<NodeId> asymmetric_neighbors(sim::Time now) const;
+  std::size_t size() const { return links_.size(); }
+
+ private:
+  std::map<NodeId, LinkTuple> links_;
+  std::map<NodeId, bool> was_symmetric_;
+};
+
+}  // namespace manet::olsr

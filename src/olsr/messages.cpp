@@ -1,0 +1,30 @@
+#include "olsr/messages.hpp"
+
+#include <algorithm>
+
+namespace manet::olsr {
+
+std::vector<NodeId> HelloMessage::symmetric_neighbors() const {
+  std::vector<NodeId> out;
+  for (const auto& [code, addrs] : link_groups) {
+    const bool sym_link = link_type_of(code) == LinkType::kSym;
+    const auto nt = neighbor_type_of(code);
+    const bool sym_neigh =
+        nt == NeighborType::kSymNeigh || nt == NeighborType::kMprNeigh;
+    if (sym_link || sym_neigh) {
+      for (auto a : addrs)
+        if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> HelloMessage::all_neighbors() const {
+  std::vector<NodeId> out;
+  for (const auto& [code, addrs] : link_groups)
+    for (auto a : addrs)
+      if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  return out;
+}
+
+}  // namespace manet::olsr

@@ -1,0 +1,115 @@
+#include "olsr/mpr_selection.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace manet::olsr {
+namespace {
+
+std::set<NodeId> all_two_hops(const MprInputs& in) {
+  std::set<NodeId> out;
+  for (const auto& [via, reach] : in.reach) out.insert(reach.begin(), reach.end());
+  return out;
+}
+
+}  // namespace
+
+std::set<NodeId> select_mprs(const MprInputs& in, bool prune_redundant) {
+  std::set<NodeId> mprs;
+  std::set<NodeId> uncovered = all_two_hops(in);
+
+  auto cover_with = [&](NodeId n) {
+    mprs.insert(n);
+    auto it = in.reach.find(n);
+    if (it == in.reach.end()) return;
+    for (auto th : it->second) uncovered.erase(th);
+  };
+
+  // Step 1: WILL_ALWAYS neighbors.
+  for (const auto& [n, will] : in.neighbors)
+    if (will == Willingness::kAlways) cover_with(n);
+
+  // Step 2: sole providers. A 2-hop node with exactly one reaching neighbor
+  // forces that neighbor into the MPR set.
+  {
+    std::map<NodeId, std::vector<NodeId>> providers;
+    for (const auto& [via, reach] : in.reach)
+      for (auto th : reach) providers[th].push_back(via);
+    for (const auto& [th, provs] : providers) {
+      if (provs.size() == 1 && uncovered.contains(th)) cover_with(provs[0]);
+    }
+  }
+
+  // Step 3: greedy by reachability.
+  while (!uncovered.empty()) {
+    NodeId best;
+    std::size_t best_gain = 0;
+    Willingness best_will = Willingness::kNever;
+    std::size_t best_degree = 0;
+
+    for (const auto& [via, reach] : in.reach) {
+      if (mprs.contains(via)) continue;
+      std::size_t gain = 0;
+      for (auto th : reach)
+        if (uncovered.contains(th)) ++gain;
+      if (gain == 0) continue;
+      const auto will = in.neighbors.contains(via)
+                            ? in.neighbors.at(via)
+                            : Willingness::kDefault;
+      const std::size_t degree = reach.size();
+      const bool better =
+          gain > best_gain ||
+          (gain == best_gain &&
+           (static_cast<int>(will) > static_cast<int>(best_will) ||
+            (will == best_will &&
+             (degree > best_degree ||
+              (degree == best_degree && (!best.valid() || via < best))))));
+      if (better) {
+        best = via;
+        best_gain = gain;
+        best_will = will;
+        best_degree = degree;
+      }
+    }
+
+    if (!best.valid()) break;  // remaining 2-hop nodes are unreachable
+    cover_with(best);
+  }
+
+  if (prune_redundant) {
+    // Drop MPRs (lowest willingness first) whose removal keeps full coverage.
+    std::vector<NodeId> candidates{mprs.begin(), mprs.end()};
+    std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
+      const auto wa = in.neighbors.contains(a) ? in.neighbors.at(a)
+                                               : Willingness::kDefault;
+      const auto wb = in.neighbors.contains(b) ? in.neighbors.at(b)
+                                               : Willingness::kDefault;
+      if (wa != wb) return static_cast<int>(wa) < static_cast<int>(wb);
+      return a < b;
+    });
+    for (auto n : candidates) {
+      const auto will = in.neighbors.contains(n) ? in.neighbors.at(n)
+                                                 : Willingness::kDefault;
+      if (will == Willingness::kAlways) continue;
+      auto trial = mprs;
+      trial.erase(n);
+      if (covers_all_two_hops(in, trial)) mprs = trial;
+    }
+  }
+
+  return mprs;
+}
+
+bool covers_all_two_hops(const MprInputs& in, const std::set<NodeId>& mprs) {
+  std::set<NodeId> covered;
+  for (auto m : mprs) {
+    auto it = in.reach.find(m);
+    if (it == in.reach.end()) continue;
+    covered.insert(it->second.begin(), it->second.end());
+  }
+  for (const auto& th : all_two_hops(in))
+    if (!covered.contains(th)) return false;
+  return true;
+}
+
+}  // namespace manet::olsr

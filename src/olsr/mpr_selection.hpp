@@ -1,0 +1,39 @@
+#pragma once
+
+#include <map>
+#include <set>
+
+#include "net/node_id.hpp"
+#include "olsr/constants.hpp"
+
+namespace manet::olsr {
+
+using net::NodeId;
+
+/// Inputs to MPR selection (RFC 3626 §8.3.1), decoupled from the tables so
+/// the heuristic is a pure, property-testable function.
+struct MprInputs {
+  /// Symmetric 1-hop neighbors and their willingness (N in the RFC).
+  std::map<NodeId, Willingness> neighbors;
+  /// For each 1-hop neighbor, the strict 2-hop nodes reachable through it
+  /// (derived from N2). Neighbors with willingness NEVER must be excluded by
+  /// the caller (NeighborTable::reachability already does).
+  std::map<NodeId, std::set<NodeId>> reach;
+};
+
+/// RFC 3626 §8.3.1 heuristic:
+///  1. WILL_ALWAYS neighbors are always MPRs.
+///  2. A neighbor that is the only one covering some 2-hop node is an MPR.
+///  3. Remaining uncovered 2-hop nodes are covered greedily by descending
+///     reachability (number of still-uncovered 2-hop nodes), ties broken by
+///     higher willingness, then larger total reach (degree), then lower id
+///     (for determinism).
+/// An optional final pass drops redundant MPRs (coverage preserved).
+std::set<NodeId> select_mprs(const MprInputs& inputs,
+                             bool prune_redundant = false);
+
+/// True if `mprs` covers every strict 2-hop node of `inputs` — the safety
+/// property the paper's attack breaks from the victim's point of view.
+bool covers_all_two_hops(const MprInputs& inputs, const std::set<NodeId>& mprs);
+
+}  // namespace manet::olsr

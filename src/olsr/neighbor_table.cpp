@@ -1,0 +1,107 @@
+#include "olsr/neighbor_table.hpp"
+
+namespace manet::olsr {
+
+void NeighborTable::upsert_neighbor(NodeId id, Willingness will,
+                                    bool symmetric) {
+  auto& t = neighbors_[id];
+  t.id = id;
+  t.willingness = will;
+  t.symmetric = symmetric;
+}
+
+void NeighborTable::remove_neighbor(NodeId id) {
+  neighbors_.erase(id);
+  drop_two_hops_via(id);
+}
+
+std::optional<NeighborTuple> NeighborTable::neighbor(NodeId id) const {
+  auto it = neighbors_.find(id);
+  if (it == neighbors_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> NeighborTable::symmetric_neighbors() const {
+  std::vector<NodeId> out;
+  for (const auto& [id, t] : neighbors_)
+    if (t.symmetric) out.push_back(id);
+  return out;
+}
+
+Willingness NeighborTable::willingness_of(NodeId id) const {
+  auto it = neighbors_.find(id);
+  return it == neighbors_.end() ? Willingness::kDefault
+                                : it->second.willingness;
+}
+
+void NeighborTable::set_two_hops_via(NodeId via,
+                                     const std::vector<NodeId>& two_hops,
+                                     sim::Time valid_until) {
+  drop_two_hops_via(via);
+  for (auto th : two_hops)
+    two_hops_[{via, th}] = TwoHopTuple{via, th, valid_until};
+}
+
+void NeighborTable::drop_two_hops_via(NodeId via) {
+  for (auto it = two_hops_.begin(); it != two_hops_.end();) {
+    if (it->first.first == via)
+      it = two_hops_.erase(it);
+    else
+      ++it;
+  }
+}
+
+void NeighborTable::expire_two_hops(sim::Time now) {
+  for (auto it = two_hops_.begin(); it != two_hops_.end();) {
+    if (it->second.valid_until <= now)
+      it = two_hops_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::set<NodeId> NeighborTable::strict_two_hops(NodeId self) const {
+  std::set<NodeId> out;
+  for (const auto& [key, t] : two_hops_) {
+    const auto th = key.second;
+    if (th == self) continue;
+    auto nb = neighbors_.find(th);
+    if (nb != neighbors_.end() && nb->second.symmetric) continue;
+    // Only count 2-hop links advertised by currently-symmetric neighbors.
+    auto via = neighbors_.find(key.first);
+    if (via == neighbors_.end() || !via->second.symmetric) continue;
+    out.insert(th);
+  }
+  return out;
+}
+
+std::map<NodeId, std::set<NodeId>> NeighborTable::reachability(
+    NodeId self) const {
+  const auto strict = strict_two_hops(self);
+  std::map<NodeId, std::set<NodeId>> out;
+  for (const auto& [key, t] : two_hops_) {
+    const auto [via, th] = key;
+    if (!strict.contains(th)) continue;
+    auto nb = neighbors_.find(via);
+    if (nb == neighbors_.end() || !nb->second.symmetric) continue;
+    if (nb->second.willingness == Willingness::kNever) continue;
+    out[via].insert(th);
+  }
+  return out;
+}
+
+std::vector<TwoHopTuple> NeighborTable::two_hop_tuples() const {
+  std::vector<TwoHopTuple> out;
+  out.reserve(two_hops_.size());
+  for (const auto& [_, t] : two_hops_) out.push_back(t);
+  return out;
+}
+
+std::set<NodeId> NeighborTable::two_hops_via(NodeId via) const {
+  std::set<NodeId> out;
+  for (const auto& [key, _] : two_hops_)
+    if (key.first == via) out.insert(key.second);
+  return out;
+}
+
+}  // namespace manet::olsr

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "olsr/constants.hpp"
+#include "sim/time.hpp"
+
+namespace manet::olsr {
+
+using net::NodeId;
+
+/// Neighbor tuple (§4.3): status follows the link set; willingness comes
+/// from the neighbor's HELLOs.
+struct NeighborTuple {
+  NodeId id;
+  Willingness willingness = Willingness::kDefault;
+  bool symmetric = false;
+};
+
+/// 2-hop tuple (§4.4): `via` is the symmetric 1-hop neighbor that advertised
+/// `two_hop` as one of its own symmetric neighbors.
+struct TwoHopTuple {
+  NodeId via;
+  NodeId two_hop;
+  sim::Time valid_until{};
+};
+
+/// 1-hop and 2-hop neighborhood repository. Fed by the Agent from HELLOs.
+class NeighborTable {
+ public:
+  void upsert_neighbor(NodeId id, Willingness will, bool symmetric);
+  void remove_neighbor(NodeId id);
+  std::optional<NeighborTuple> neighbor(NodeId id) const;
+  std::vector<NodeId> symmetric_neighbors() const;
+  Willingness willingness_of(NodeId id) const;
+
+  /// Replaces the set of 2-hop neighbors advertised by `via` (the
+  /// paper-relevant part: this is exactly the content an attacker forges).
+  void set_two_hops_via(NodeId via, const std::vector<NodeId>& two_hops,
+                        sim::Time valid_until);
+  void drop_two_hops_via(NodeId via);
+  void expire_two_hops(sim::Time now);
+
+  /// Strict 2-hop neighbors: advertised by some symmetric neighbor,
+  /// excluding `self` and excluding nodes that are themselves symmetric
+  /// 1-hop neighbors.
+  std::set<NodeId> strict_two_hops(NodeId self) const;
+
+  /// For MPR selection: via-neighbor -> set of strict 2-hop nodes reachable.
+  std::map<NodeId, std::set<NodeId>> reachability(NodeId self) const;
+
+  /// All (via, two_hop) pairs currently valid (for logging/inspection).
+  std::vector<TwoHopTuple> two_hop_tuples() const;
+
+  /// 2-hop neighbors advertised by a specific neighbor.
+  std::set<NodeId> two_hops_via(NodeId via) const;
+
+ private:
+  std::map<NodeId, NeighborTuple> neighbors_;
+  // Keyed by (via, two_hop).
+  std::map<std::pair<NodeId, NodeId>, TwoHopTuple> two_hops_;
+};
+
+}  // namespace manet::olsr

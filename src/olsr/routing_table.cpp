@@ -1,0 +1,104 @@
+#include "olsr/routing_table.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace manet::olsr {
+
+std::pair<std::vector<NodeId>, std::vector<NodeId>> RoutingTable::recompute(
+    NodeId self, const KnowledgeGraph& graph) {
+  self_ = self;
+  std::map<NodeId, Entry> fresh;
+  std::map<NodeId, NodeId> parent;
+
+  std::deque<NodeId> frontier{self};
+  std::map<NodeId, int> dist{{self, 0}};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    auto it = graph.find(u);
+    if (it == graph.end()) continue;
+    for (NodeId v : it->second) {
+      if (v == self || dist.contains(v)) continue;
+      dist[v] = dist[u] + 1;
+      parent[v] = u;
+      // The next hop is the first relay on the path from self.
+      NodeId hop = v;
+      while (parent.contains(hop) && parent.at(hop) != self)
+        hop = parent.at(hop);
+      fresh[v] = Entry{v, hop, dist[v]};
+      frontier.push_back(v);
+    }
+  }
+
+  std::vector<NodeId> added, removed;
+  for (const auto& [dest, _] : fresh)
+    if (!routes_.contains(dest)) added.push_back(dest);
+  for (const auto& [dest, _] : routes_)
+    if (!fresh.contains(dest)) removed.push_back(dest);
+
+  routes_ = std::move(fresh);
+  parent_ = std::move(parent);
+  return {added, removed};
+}
+
+std::optional<RoutingTable::Entry> RoutingTable::route_to(NodeId dest) const {
+  auto it = routes_.find(dest);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RoutingTable::Entry> RoutingTable::entries() const {
+  std::vector<Entry> out;
+  out.reserve(routes_.size());
+  for (const auto& [_, e] : routes_) out.push_back(e);
+  return out;
+}
+
+std::optional<std::vector<NodeId>> RoutingTable::path_to(NodeId dest) const {
+  if (!routes_.contains(dest)) return std::nullopt;
+  std::vector<NodeId> reversed{dest};
+  NodeId cur = dest;
+  while (parent_.contains(cur) && parent_.at(cur) != self_) {
+    cur = parent_.at(cur);
+    reversed.push_back(cur);
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  return reversed;
+}
+
+std::optional<std::vector<NodeId>> RoutingTable::shortest_path(
+    const KnowledgeGraph& graph, NodeId from, NodeId to,
+    const std::set<NodeId>& avoid) {
+  if (from == to) return std::vector<NodeId>{};
+  std::deque<NodeId> frontier{from};
+  std::map<NodeId, NodeId> parent;
+  std::set<NodeId> seen{from};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    auto it = graph.find(u);
+    if (it == graph.end()) continue;
+    for (NodeId v : it->second) {
+      if (seen.contains(v)) continue;
+      // Avoided nodes cannot relay; they may only terminate the path.
+      if (avoid.contains(v) && v != to) continue;
+      parent[v] = u;
+      if (v == to) {
+        std::vector<NodeId> reversed{to};
+        NodeId cur = to;
+        while (parent.at(cur) != from) {
+          cur = parent.at(cur);
+          reversed.push_back(cur);
+        }
+        std::reverse(reversed.begin(), reversed.end());
+        return reversed;
+      }
+      seen.insert(v);
+      frontier.push_back(v);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace manet::olsr

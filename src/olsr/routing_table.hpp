@@ -1,0 +1,55 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/node_id.hpp"
+
+namespace manet::olsr {
+
+using net::NodeId;
+
+/// Directed adjacency a node *believes* in: its link set, 2-hop set and
+/// the TC-derived topology set merged (§10). Keys may be absent for leaf
+/// nodes.
+using KnowledgeGraph = std::map<NodeId, std::set<NodeId>>;
+
+/// Routing table (§10): hop-count shortest paths over the knowledge graph.
+class RoutingTable {
+ public:
+  struct Entry {
+    NodeId dest;
+    NodeId next_hop;
+    int distance = 0;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  /// Rebuilds all routes via BFS from `self`. Returns (added, removed)
+  /// destination sets relative to the previous table — the agent logs these.
+  std::pair<std::vector<NodeId>, std::vector<NodeId>> recompute(
+      NodeId self, const KnowledgeGraph& graph);
+
+  std::optional<Entry> route_to(NodeId dest) const;
+  std::vector<Entry> entries() const;
+  std::size_t size() const { return routes_.size(); }
+
+  /// Full relay sequence to `dest` (next hop first, dest last); nullopt if
+  /// unreachable. Recomputed from the stored parent chain.
+  std::optional<std::vector<NodeId>> path_to(NodeId dest) const;
+
+  /// Shortest path over an arbitrary graph with nodes to avoid as relays
+  /// (the destination itself may not be avoided). Used by the cooperative
+  /// investigation to route around the suspicious MPR and colluders.
+  static std::optional<std::vector<NodeId>> shortest_path(
+      const KnowledgeGraph& graph, NodeId from, NodeId to,
+      const std::set<NodeId>& avoid = {});
+
+ private:
+  std::map<NodeId, Entry> routes_;
+  std::map<NodeId, NodeId> parent_;
+  NodeId self_;
+};
+
+}  // namespace manet::olsr

@@ -1,0 +1,60 @@
+#include "olsr/topology_set.hpp"
+
+namespace manet::olsr {
+namespace {
+
+/// Sequence comparison with wraparound (§19).
+bool seq_newer(std::uint16_t a, std::uint16_t b) {
+  return (a > b && a - b <= 32768) || (b > a && b - a > 32768);
+}
+
+}  // namespace
+
+bool TopologySet::on_tc(sim::Time now, NodeId originator, std::uint16_t ansn,
+                        const std::vector<NodeId>& advertised,
+                        sim::Duration vtime) {
+  auto it = latest_ansn_.find(originator);
+  if (it != latest_ansn_.end() && seq_newer(it->second, ansn)) return false;
+  latest_ansn_[originator] = ansn;
+
+  // §9.5: remove older tuples from this originator, then record new ones.
+  for (auto t = tuples_.begin(); t != tuples_.end();) {
+    if (t->first.first == originator && seq_newer(ansn, t->second.ansn))
+      t = tuples_.erase(t);
+    else
+      ++t;
+  }
+  for (auto dest : advertised) {
+    auto& tuple = tuples_[{originator, dest}];
+    tuple.last_hop = originator;
+    tuple.dest = dest;
+    tuple.ansn = ansn;
+    tuple.valid_until = now + vtime;
+  }
+  return true;
+}
+
+void TopologySet::expire(sim::Time now) {
+  for (auto it = tuples_.begin(); it != tuples_.end();) {
+    if (it->second.valid_until <= now)
+      it = tuples_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::vector<TopologyTuple> TopologySet::tuples() const {
+  std::vector<TopologyTuple> out;
+  out.reserve(tuples_.size());
+  for (const auto& [_, t] : tuples_) out.push_back(t);
+  return out;
+}
+
+std::vector<NodeId> TopologySet::advertised_by(NodeId last_hop) const {
+  std::vector<NodeId> out;
+  for (const auto& [key, t] : tuples_)
+    if (key.first == last_hop) out.push_back(t.dest);
+  return out;
+}
+
+}  // namespace manet::olsr

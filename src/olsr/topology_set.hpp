@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace manet::olsr {
+
+using net::NodeId;
+
+/// Topology tuple (§4.5): `last_hop` (T_last_addr) declared reachability to
+/// `dest` (T_dest_addr) in a TC with sequence ANSN.
+struct TopologyTuple {
+  NodeId dest;
+  NodeId last_hop;
+  std::uint16_t ansn = 0;
+  sim::Time valid_until{};
+};
+
+/// Topology information base built from TC flooding (§9.5 processing rules).
+class TopologySet {
+ public:
+  /// Applies one received TC. Returns false when the TC is stale (older
+  /// ANSN than already recorded for this originator) and was ignored.
+  bool on_tc(sim::Time now, NodeId originator, std::uint16_t ansn,
+             const std::vector<NodeId>& advertised, sim::Duration vtime);
+
+  void expire(sim::Time now);
+
+  /// Edges (last_hop -> dest) currently valid.
+  std::vector<TopologyTuple> tuples() const;
+
+  /// Destinations advertised by one originator.
+  std::vector<NodeId> advertised_by(NodeId last_hop) const;
+
+  std::size_t size() const { return tuples_.size(); }
+
+ private:
+  // Keyed by (last_hop, dest).
+  std::map<std::pair<NodeId, NodeId>, TopologyTuple> tuples_;
+  std::map<NodeId, std::uint16_t> latest_ansn_;
+};
+
+}  // namespace manet::olsr

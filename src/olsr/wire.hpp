@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "net/packet.hpp"
+#include "olsr/messages.hpp"
+
+namespace manet::olsr {
+
+/// RFC 3626 wire (de)serialization, big-endian, including the
+/// mantissa/exponent encoding of validity times (§18.3). Deserialization
+/// throws WireError on truncated or inconsistent input — a receiver drops
+/// such packets, exactly like a real daemon.
+
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Vtime/Htime 8-bit encoding: value = C * (1 + a/16) * 2^b seconds with
+/// C = 1/16 s, a = high nibble, b = low nibble.
+std::uint8_t encode_vtime(sim::Duration d);
+sim::Duration decode_vtime(std::uint8_t encoded);
+
+net::Bytes serialize_packet(const OlsrPacket& packet);
+OlsrPacket parse_packet(const net::Bytes& bytes);
+
+/// Size in bytes a message will occupy on the wire (header included).
+std::size_t wire_size(const Message& message);
+
+}  // namespace manet::olsr

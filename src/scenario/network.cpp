@@ -1,0 +1,93 @@
+#include "scenario/network.hpp"
+
+#include <stdexcept>
+
+namespace manet::scenario {
+
+Network::Network(Config config)
+    : sim_{config.seed},
+      medium_{sim_, config.radio},
+      config_{std::move(config)},
+      mobility_{sim_, medium_} {
+  if (config_.positions.empty())
+    throw std::invalid_argument{"Network needs at least one position"};
+
+  const auto n = config_.positions.size();
+  hooks_.resize(n);
+  detectors_.resize(n);
+  recommendations_.resize(n);
+  agents_.reserve(n);
+  investigations_.reserve(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = id_of(i);
+    medium_.attach(id, config_.positions[i]);
+    agents_.push_back(
+        std::make_unique<olsr::Agent>(sim_, medium_, id, config_.agent));
+    investigations_.push_back(std::make_unique<core::InvestigationManager>(
+        sim_, *agents_.back(), config_.investigation));
+  }
+  built_ = true;
+}
+
+Network::~Network() { stop_all(); }
+
+void Network::set_hooks(std::size_t index,
+                        std::unique_ptr<olsr::AgentHooks> hooks) {
+  hooks_.at(index) = std::move(hooks);
+  agents_.at(index)->set_hooks(hooks_.at(index).get());
+}
+
+core::Detector& Network::add_detector(std::size_t index,
+                                      core::DetectorConfig config) {
+  auto& slot = detectors_.at(index);
+  if (slot) throw std::logic_error{"node already has a detector"};
+  slot = std::make_unique<core::Detector>(
+      sim_, *agents_.at(index), *investigations_.at(index), config);
+  return *slot;
+}
+
+core::RecommendationExchange& Network::add_recommendations(
+    std::size_t index) {
+  auto& slot = recommendations_.at(index);
+  if (slot) return *slot;
+  auto* det = detectors_.at(index).get();
+  if (det == nullptr)
+    throw std::logic_error{"add_recommendations requires a detector"};
+  slot = std::make_unique<core::RecommendationExchange>(
+      sim_, *agents_.at(index), det->trust_store());
+  investigations_.at(index)->set_fallback(
+      [ex = slot.get()](const olsr::DataMessage& m) { return ex->on_data(m); });
+  return *slot;
+}
+
+void Network::set_mobility(std::size_t index,
+                           std::unique_ptr<net::MobilityModel> model) {
+  mobility_.set_model(id_of(index), std::move(model));
+  mobility_used_ = true;
+}
+
+void Network::start_all() {
+  for (auto& agent : agents_) agent->start();
+  if (mobility_used_) mobility_.start();
+}
+
+void Network::stop_all() {
+  if (!built_) return;
+  for (auto& d : detectors_)
+    if (d) d->stop();
+  for (auto& agent : agents_) agent->stop();
+  mobility_.stop();
+}
+
+bool Network::converged() const {
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    for (std::size_t j = 0; j < agents_.size(); ++j) {
+      if (i == j) continue;
+      if (!agents_[i]->routes().route_to(id_of(j))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace manet::scenario

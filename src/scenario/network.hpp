@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/recommendation.hpp"
+#include "net/medium.hpp"
+#include "net/mobility.hpp"
+#include "olsr/agent.hpp"
+
+namespace manet::scenario {
+
+using net::NodeId;
+
+/// A complete simulated MANET: the simulator, the shared medium, one OLSR
+/// agent per node (optionally wrapped by attacker hooks), one investigation
+/// endpoint per node, and detectors where requested. Owns everything;
+/// examples, tests and benches build on this.
+class Network {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    net::RadioConfig radio;
+    std::vector<net::Position> positions;
+    olsr::Agent::Config agent;
+    core::InvestigationConfig investigation;
+  };
+
+  explicit Network(Config config);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  std::size_t size() const { return agents_.size(); }
+  static NodeId id_of(std::size_t index) {
+    return NodeId{static_cast<std::uint32_t>(index)};
+  }
+
+  sim::Simulator& sim() { return sim_; }
+  net::Medium& medium() { return medium_; }
+  olsr::Agent& agent(std::size_t index) { return *agents_.at(index); }
+  core::InvestigationManager& investigations(std::size_t index) {
+    return *investigations_.at(index);
+  }
+
+  /// Installs attacker hooks for a node. Must be called before start();
+  /// the caller keeps ownership of concrete attack objects when it needs to
+  /// toggle them later, or transfers it here.
+  void set_hooks(std::size_t index, std::unique_ptr<olsr::AgentHooks> hooks);
+  olsr::AgentHooks* hooks(std::size_t index) { return hooks_.at(index).get(); }
+
+  /// Sets how the node answers investigations (liars, silent nodes).
+  void set_answer_policy(std::size_t index, core::AnswerPolicy policy) {
+    investigations_.at(index)->set_policy(policy);
+  }
+
+  /// Attaches a detector to a node (the investigator side of the IDS).
+  core::Detector& add_detector(std::size_t index,
+                               core::DetectorConfig config = {});
+  core::Detector* detector(std::size_t index) {
+    return detectors_.at(index).get();
+  }
+
+  /// Attaches a recommendation-exchange endpoint (Eq. 6-7 trust
+  /// propagation) to a node that already has a detector; serves and merges
+  /// recommendations against the detector's trust store.
+  core::RecommendationExchange& add_recommendations(std::size_t index);
+
+  /// Assigns a mobility model to a node (random waypoint etc.).
+  void set_mobility(std::size_t index,
+                    std::unique_ptr<net::MobilityModel> model);
+
+  /// Starts all agents (and mobility if any models were installed).
+  void start_all();
+  void stop_all();
+
+  /// Convenience: runs the simulation for `d` of simulated time.
+  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+
+  /// True when every pair of attached nodes has a route to each other in
+  /// both routing tables (control-plane convergence).
+  bool converged() const;
+
+ private:
+  sim::Simulator sim_;
+  net::Medium medium_;
+  Config config_;
+  std::vector<std::unique_ptr<olsr::AgentHooks>> hooks_;
+  std::vector<std::unique_ptr<olsr::Agent>> agents_;
+  std::vector<std::unique_ptr<core::InvestigationManager>> investigations_;
+  std::vector<std::unique_ptr<core::Detector>> detectors_;
+  std::vector<std::unique_ptr<core::RecommendationExchange>> recommendations_;
+  net::MobilityManager mobility_;
+  bool mobility_used_ = false;
+  bool built_ = false;
+};
+
+}  // namespace manet::scenario

@@ -1,0 +1,146 @@
+#include "scenario/trust_experiment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/topology.hpp"
+
+namespace manet::scenario {
+
+TrustExperiment::TrustExperiment(Config config) : config_{std::move(config)} {
+  if (config_.num_nodes < 4)
+    throw std::invalid_argument{"need at least 4 nodes"};
+  if (config_.num_liars + 2 > config_.num_nodes)
+    throw std::invalid_argument{"too many liars"};
+  phantom_ = NodeId{static_cast<std::uint32_t>(config_.num_nodes + 83)};
+}
+
+TrustExperiment::~TrustExperiment() = default;
+
+bool TrustExperiment::is_liar(NodeId id) const {
+  return std::find(liars_.begin(), liars_.end(), id) != liars_.end();
+}
+
+void TrustExperiment::setup() {
+  Network::Config nc;
+  nc.seed = config_.seed;
+  // A compact cluster: every node within radio range of every other, so all
+  // n-2 bystanders are 1-hop neighbors of the attacker (the S1..Sm of the
+  // paper) and answer its investigations first-hand.
+  nc.radio.range_m = 250.0;
+  nc.radio.loss_probability = config_.radio_loss;
+  nc.positions = net::grid_layout(config_.num_nodes, 50.0);
+  nc.investigation = config_.investigation;
+  network_ = std::make_unique<Network>(nc);
+
+  // Attacker (node 1) advertises the phantom / forged link.
+  std::set<NodeId> targets{phantom_};
+  auto spoof = std::make_unique<attacks::LinkSpoofingAttack>(config_.mode,
+                                                             targets);
+  spoof_ = spoof.get();
+  network_->set_hooks(1, std::move(spoof));
+
+  // Choose the liars among the bystanders (nodes 2..n-1), deterministically
+  // from the seed.
+  sim::Rng picker{config_.seed ^ 0xC01DBEEFULL};
+  std::vector<std::size_t> bystanders;
+  for (std::size_t i = 2; i < config_.num_nodes; ++i) bystanders.push_back(i);
+  picker.shuffle(bystanders);
+  for (std::size_t k = 0; k < bystanders.size(); ++k) {
+    const auto id = Network::id_of(bystanders[k]);
+    if (k < config_.num_liars) {
+      liars_.push_back(id);
+      network_->set_answer_policy(bystanders[k], core::AnswerPolicy::kLiar);
+    } else {
+      honest_.push_back(id);
+    }
+  }
+
+  // The investigator (node 0) runs the detector.
+  core::DetectorConfig dc;
+  dc.trust_params = config_.trust_params;
+  dc.decision = config_.decision;
+  dc.investigation = config_.investigation;
+  detector_ = &network_->add_detector(0, dc);
+
+  // Random initial trust (the paper: "Initially, we randomly set the trust
+  // that is assigned to each node").
+  for (std::size_t i = 1; i < config_.num_nodes; ++i) {
+    detector_->trust_store().set_trust(
+        Network::id_of(i),
+        picker.uniform_real(config_.initial_trust_min,
+                            config_.initial_trust_max));
+  }
+
+  network_->start_all();
+  // Let OLSR converge: links become symmetric after two HELLO exchanges;
+  // give the cluster a comfortable margin.
+  network_->run_for(sim::Duration::from_seconds(15.0));
+}
+
+TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
+  RoundSnapshot snap;
+  snap.round = ++round_counter_;
+
+  // Verifiers: every bystander (the attacker's 1-hop neighbors, §IV-B).
+  std::vector<NodeId> verifiers;
+  verifiers.insert(verifiers.end(), honest_.begin(), honest_.end());
+  verifiers.insert(verifiers.end(), liars_.begin(), liars_.end());
+
+  bool done = false;
+  detector_->set_report_callback([&](const core::DetectionReport& report) {
+    snap.detect = report.detect;
+    snap.verdict = report.verdict;
+    snap.margin = report.interval.margin;
+    done = true;
+  });
+  detector_->investigate_claim(attacker(), phantom_, /*claimed_up=*/true,
+                               {core::EvidenceTag::kE1MprReplaced}, verifiers);
+
+  // Drive the simulation until the round's report lands (bounded wait).
+  const auto deadline =
+      network_->sim().now() + sim::Duration::from_seconds(60.0);
+  while (!done && network_->sim().now() < deadline)
+    network_->run_for(sim::Duration::from_ms(250));
+  detector_->set_report_callback({});
+  if (!done) throw std::runtime_error{"investigation round never completed"};
+
+  for (std::size_t i = 1; i < config_.num_nodes; ++i) {
+    const auto id = Network::id_of(i);
+    snap.trust[id] = detector_->trust_store().trust(id);
+  }
+  return snap;
+}
+
+TrustExperiment::RoundSnapshot TrustExperiment::run_idle_round() {
+  RoundSnapshot snap;
+  snap.round = ++round_counter_;
+  detector_->trust_store().decay_all_idle();
+  network_->run_for(sim::Duration::from_seconds(2.0));
+  for (std::size_t i = 1; i < config_.num_nodes; ++i) {
+    const auto id = Network::id_of(i);
+    snap.trust[id] = detector_->trust_store().trust(id);
+  }
+  return snap;
+}
+
+void TrustExperiment::cease_attack() {
+  spoof_->set_active(false);
+  for (auto liar : liars_) {
+    // Former liars answer honestly once the collusion ends.
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+      if (Network::id_of(i) == liar)
+        network_->set_answer_policy(i, core::AnswerPolicy::kHonest);
+    }
+  }
+}
+
+std::vector<TrustExperiment::RoundSnapshot> TrustExperiment::run_attack_rounds(
+    int rounds) {
+  std::vector<RoundSnapshot> out;
+  out.reserve(static_cast<std::size_t>(rounds));
+  for (int i = 0; i < rounds; ++i) out.push_back(run_round());
+  return out;
+}
+
+}  // namespace manet::scenario

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "attacks/link_spoofing.hpp"
+#include "scenario/network.hpp"
+
+namespace manet::scenario {
+
+/// Reproduction harness for the paper's §V evaluation: n nodes in mutual
+/// radio range, one link-spoofing attacker whose HELLOs advertise a
+/// phantom neighbor, and k colluding liars that falsify their investigation
+/// answers. The attacked node runs the detector and performs one
+/// investigation per round; the harness snapshots the trust table and the
+/// Eq. 8 Detect value after every round.
+class TrustExperiment {
+ public:
+  struct Config {
+    std::size_t num_nodes = 16;   ///< incl. attacker and investigator
+    std::size_t num_liars = 4;    ///< the paper's 26.3%
+    std::uint64_t seed = 1;
+    int rounds = 25;
+    /// Initial trust drawn uniformly from this range (the paper: "randomly
+    /// set"); the default-trust anchor stays at trust_params.default_trust.
+    double initial_trust_min = 0.05;
+    double initial_trust_max = 0.85;
+    trust::TrustParams trust_params;
+    trust::DecisionConfig decision;
+    core::InvestigationConfig investigation;
+    double radio_loss = 0.0;
+    attacks::LinkSpoofingAttack::Mode mode =
+        attacks::LinkSpoofingAttack::Mode::kAddNonExistent;
+  };
+
+  struct RoundSnapshot {
+    int round = 0;
+    double detect = 0.0;  ///< Eq. 8 for this round
+    trust::Verdict verdict = trust::Verdict::kUnrecognized;
+    double margin = 0.0;  ///< Eq. 9 epsilon
+    /// Investigator's trust per node after the round's updates.
+    std::map<NodeId, double> trust;
+  };
+
+  explicit TrustExperiment(Config config);
+  ~TrustExperiment();
+
+  /// Builds the network, lets OLSR converge, activates the attack.
+  void setup();
+
+  /// One investigation round (the attack stays active).
+  RoundSnapshot run_round();
+
+  /// One idle round: the attack has ceased, no investigation happens, and
+  /// the forgetting factor relaxes every trust value toward the default
+  /// (Figure 2 semantics).
+  RoundSnapshot run_idle_round();
+
+  /// Deactivates the attack and the liars (start of the Fig. 2 phase).
+  void cease_attack();
+
+  std::vector<RoundSnapshot> run_attack_rounds(int rounds);
+
+  // --- topology of the experiment ---
+  NodeId investigator() const { return Network::id_of(0); }
+  NodeId attacker() const { return Network::id_of(1); }
+  NodeId phantom() const { return phantom_; }
+  const std::vector<NodeId>& liars() const { return liars_; }
+  const std::vector<NodeId>& honest() const { return honest_; }
+  bool is_liar(NodeId id) const;
+
+  Network& network() { return *network_; }
+  core::Detector& detector() { return *detector_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<Network> network_;
+  core::Detector* detector_ = nullptr;
+  attacks::LinkSpoofingAttack* spoof_ = nullptr;
+  NodeId phantom_;
+  std::vector<NodeId> liars_;
+  std::vector<NodeId> honest_;
+  int round_counter_ = 0;
+};
+
+}  // namespace manet::scenario

@@ -1,0 +1,55 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace manet::sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{at, seq, std::move(cb)});
+  ++live_;
+  return EventId{seq};
+}
+
+void EventQueue::cancel(EventId id) {
+  if (!id.valid()) return;
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.id_);
+  if (it != cancelled_.end() && *it == id.id_) return;
+  cancelled_.insert(it, id.id_);
+  if (live_ > 0) --live_;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    const auto seq = heap_.top().seq;
+    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
+    if (it == cancelled_.end() || *it != seq) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty"};
+  return heap_.top().at;
+}
+
+Time EventQueue::run_next() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::run_next on empty"};
+  // Move the entry out before running: the callback may schedule/cancel.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  if (live_ > 0) --live_;
+  e.cb();
+  return e.at;
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace manet::sim {
+
+/// Handle that allows a scheduled event to be cancelled.
+class EventId {
+ public:
+  constexpr EventId() = default;
+  constexpr bool valid() const { return id_ != 0; }
+  constexpr auto operator<=>(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  explicit constexpr EventId(std::uint64_t id) : id_{id} {}
+  std::uint64_t id_ = 0;
+};
+
+/// Time-ordered queue of callbacks. Ties are broken by insertion order so a
+/// run is deterministic regardless of the heap implementation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventId schedule(Time at, Callback cb);
+  void cancel(EventId id);
+
+  bool empty() const;
+  Time next_time() const;
+
+  /// Pops and runs the earliest event; returns its time.
+  Time run_next();
+
+  std::size_t pending() const { return live_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  mutable std::vector<std::uint64_t> cancelled_;  // sorted ids
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+namespace manet::sim {
+
+/// Deterministic pseudo-random source (xoshiro256**). Every stochastic
+/// component of the simulator draws from an explicitly seeded Rng so that a
+/// scenario is fully reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform over the full 64-bit range.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Standard normal via Box-Muller (deterministic across platforms).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Fisher-Yates shuffle of an indexable container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Derives an independent child stream (for per-node randomness).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace manet::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_{seed} {}
+
+EventId Simulator::schedule(Duration delay, EventQueue::Callback cb) {
+  if (delay < Duration{}) throw std::invalid_argument{"negative delay"};
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
+  if (at < now_) throw std::invalid_argument{"schedule_at in the past"};
+  return queue_.schedule(at, std::move(cb));
+}
+
+void Simulator::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    // Advance the clock BEFORE executing so callbacks observe their own
+    // firing time via now().
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    now_ = queue_.next_time();
+    queue_.run_next();
+    ++executed_;
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  now_ = queue_.next_time();
+  queue_.run_next();
+  ++executed_;
+  return true;
+}
+
+}  // namespace manet::sim

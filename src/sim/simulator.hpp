@@ -1,0 +1,46 @@
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace manet::sim {
+
+/// Discrete-event simulator: a virtual clock driving an event queue plus the
+/// root random stream. All substrates (radio medium, OLSR timers, IDS
+/// investigation timeouts) schedule against one Simulator instance.
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `cb` to run `delay` from now. Returns a cancellable handle.
+  EventId schedule(Duration delay, EventQueue::Callback cb);
+
+  /// Schedules at an absolute time (must not be in the past).
+  EventId schedule_at(Time at, EventQueue::Callback cb);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the horizon is passed.
+  void run_until(Time horizon);
+
+  /// Runs until the queue is completely empty.
+  void run_all();
+
+  /// Executes at most one event; returns false if none is pending.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.pending(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  Time now_;
+  EventQueue queue_;
+  Rng rng_;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,16 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace manet::sim {
+
+std::string Time::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds",
+                static_cast<long long>(us_ / 1'000'000),
+                static_cast<long long>(us_ % 1'000'000 < 0 ? -(us_ % 1'000'000)
+                                                           : us_ % 1'000'000));
+  return buf;
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace manet::sim {
+
+/// Simulated time. Integer microseconds since simulation start, so that
+/// event ordering is exact and runs are bit-for-bit reproducible.
+class Time {
+ public:
+  constexpr Time() = default;
+  static constexpr Time from_us(std::int64_t us) { return Time{us}; }
+  static constexpr Time from_ms(std::int64_t ms) { return Time{ms * 1000}; }
+  static constexpr Time from_seconds(double s) {
+    return Time{static_cast<std::int64_t>(s * 1e6)};
+  }
+
+  constexpr std::int64_t us() const { return us_; }
+  constexpr double seconds() const { return static_cast<double>(us_) / 1e6; }
+
+  constexpr Time operator+(Time o) const { return Time{us_ + o.us_}; }
+  constexpr Time operator-(Time o) const { return Time{us_ - o.us_}; }
+  constexpr Time& operator+=(Time o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Time&) const = default;
+
+  /// "12.345678s" — used by the audit-log formatter.
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Time(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// Duration shares representation with Time; separate alias for readability.
+using Duration = Time;
+
+inline constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::from_ms(static_cast<std::int64_t>(v));
+}
+inline constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::from_us(static_cast<std::int64_t>(v) * 1'000'000);
+}
+
+}  // namespace manet::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace manet::sim {
+
+/// Periodic timer with optional uniform jitter, as required by RFC 3626
+/// (§18.3: emission intervals should be jittered to avoid synchronization).
+/// The timer stops automatically when destroyed (RAII).
+class PeriodicTimer {
+ public:
+  /// `jitter` is the maximum amount subtracted uniformly at random from each
+  /// period, i.e. the next firing is period - U[0, jitter] from the last.
+  PeriodicTimer(Simulator& sim, Duration period, Duration jitter,
+                std::function<void()> on_fire);
+  ~PeriodicTimer();
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  void set_period(Duration period) { period_ = period; }
+  Duration period() const { return period_; }
+
+ private:
+  void schedule_next();
+
+  Simulator& sim_;
+  Duration period_;
+  Duration jitter_;
+  std::function<void()> on_fire_;
+  EventId pending_{};
+  bool running_ = false;
+};
+
+/// Single-shot timer handle (RAII cancel), used for investigation timeouts.
+class OneShotTimer {
+ public:
+  explicit OneShotTimer(Simulator& sim) : sim_{sim} {}
+  ~OneShotTimer() { cancel(); }
+
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  void arm(Duration delay, std::function<void()> on_fire);
+  void cancel();
+  bool armed() const { return armed_; }
+
+ private:
+  Simulator& sim_;
+  EventId pending_{};
+  bool armed_ = false;
+};
+
+}  // namespace manet::sim

@@ -1,0 +1,30 @@
+#include "stats/confidence.hpp"
+
+#include <cmath>
+
+#include "stats/normal.hpp"
+
+namespace manet::stats {
+
+ConfidenceInterval confidence_interval(const RunningStats& stats, double level,
+                                       double max_margin) {
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.mean = stats.mean();
+  if (stats.count() < 2) {
+    ci.margin = max_margin;
+    return ci;
+  }
+  const double z = z_for_confidence(level);
+  ci.margin = z * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  return ci;
+}
+
+ConfidenceInterval confidence_interval(std::span<const double> samples,
+                                       double level, double max_margin) {
+  RunningStats s;
+  for (double x : samples) s.add(x);
+  return confidence_interval(s, level, max_margin);
+}
+
+}  // namespace manet::stats

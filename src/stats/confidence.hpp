@@ -1,0 +1,33 @@
+#pragma once
+
+#include <span>
+
+#include "stats/descriptive.hpp"
+
+namespace manet::stats {
+
+/// A two-sided confidence interval around a sample mean, per the paper's
+/// §IV-C: [mean - eps, mean + eps] with eps = z * sigma / sqrt(n) (Eq. 9).
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double margin = 0.0;  ///< eps in the paper
+  double level = 0.0;   ///< requested confidence level cl
+
+  double lower() const { return mean - margin; }
+  double upper() const { return mean + margin; }
+  double width() const { return 2.0 * margin; }
+  bool contains(double x) const { return x >= lower() && x <= upper(); }
+};
+
+/// Computes Eq. 9 from raw samples. With fewer than two samples the spread
+/// is unknown; we return the maximally-uncertain margin `max_margin`
+/// (the caller's decision rule then lands in "unrecognized").
+ConfidenceInterval confidence_interval(std::span<const double> samples,
+                                       double level,
+                                       double max_margin = 2.0);
+
+/// Same from a pre-accumulated RunningStats.
+ConfidenceInterval confidence_interval(const RunningStats& stats, double level,
+                                       double max_margin = 2.0);
+
+}  // namespace manet::stats

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace manet::stats {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable; used
+/// by the confidence-interval computation over investigation evidences.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(std::span<const double> xs);
+/// Unbiased sample variance; 0 for fewer than two samples.
+double sample_variance(std::span<const double> xs);
+double sample_stddev(std::span<const double> xs);
+/// Median (averages the middle pair for even sizes). Copies internally.
+double median(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::span<const double> xs, double p);
+
+}  // namespace manet::stats

@@ -1,0 +1,51 @@
+#include "stats/entropy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace manet::stats {
+
+double binary_entropy(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument{"p outside [0,1]"};
+  if (p == 0.0 || p == 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+double shannon_entropy(std::span<const double> probabilities) {
+  double total = 0.0;
+  for (double p : probabilities) {
+    if (p < 0.0) throw std::invalid_argument{"negative probability"};
+    total += p;
+  }
+  if (total <= 0.0) throw std::invalid_argument{"all-zero distribution"};
+  double h = 0.0;
+  for (double p : probabilities) {
+    const double q = p / total;
+    if (q > 0.0) h -= q * std::log2(q);
+  }
+  return h;
+}
+
+double entropy_trust(double p) {
+  const double h = binary_entropy(p);
+  return p >= 0.5 ? 1.0 - h : h - 1.0;
+}
+
+double entropy_trust_inverse(double trust) {
+  if (trust < -1.0 || trust > 1.0)
+    throw std::invalid_argument{"trust outside [-1,1]"};
+  // On [0.5, 1], entropy_trust increases from 0 to 1; on [0, 0.5] it
+  // increases from -1 to 0. Bisect the matching half.
+  double lo = trust >= 0.0 ? 0.5 : 0.0;
+  double hi = trust >= 0.0 ? 1.0 : 0.5;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (entropy_trust(mid) < trust)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace manet::stats

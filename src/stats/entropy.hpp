@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+namespace manet::stats {
+
+/// Binary entropy H(p) = -p log2 p - (1-p) log2 (1-p), in bits.
+/// H(0) = H(1) = 0 by continuity. Requires p in [0, 1].
+double binary_entropy(double p);
+
+/// Shannon entropy of a discrete distribution (probabilities must be
+/// non-negative; they are normalized internally). Returns bits.
+double shannon_entropy(std::span<const double> probabilities);
+
+/// Entropy-based trust mapping from the information-theoretic framework of
+/// Sun et al. (IEEE JSAC 2006), which the paper's trust system builds on:
+///   T(p) =  1 - H(p)   for p >= 0.5
+///   T(p) =  H(p) - 1   for p <  0.5
+/// where p is the subjective probability that the target behaves well.
+/// The result lies in [-1, 1]: full trust 1 at p=1, full distrust -1 at p=0,
+/// and 0 at maximal uncertainty p=0.5.
+double entropy_trust(double p);
+
+/// Inverse of entropy_trust: recovers p in [0,1] from a trust value in
+/// [-1,1] (bisection; monotone on each half).
+double entropy_trust_inverse(double trust);
+
+}  // namespace manet::stats

@@ -1,0 +1,51 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace manet::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument{"lo must be < hi"};
+  if (bins == 0) throw std::invalid_argument{"need at least one bin"};
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t bin) const {
+  return counts_.at(bin);
+}
+
+double Histogram::bin_lower(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_upper(std::size_t bin) const {
+  return bin_lower(bin + 1);
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  const std::size_t peak = *std::max_element(counts_.begin(), counts_.end());
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        peak == 0 ? 0 : counts_[b] * max_width / std::max<std::size_t>(peak, 1);
+    os << std::setw(10) << std::fixed << std::setprecision(2) << bin_lower(b)
+       << " | " << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace manet::stats

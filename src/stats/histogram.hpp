@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace manet::stats {
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples are clamped
+/// into the edge bins. Used by the overhead bench to summarize per-round
+/// message counts.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+  std::size_t bin_count(std::size_t bin) const;
+  double bin_lower(std::size_t bin) const;
+  double bin_upper(std::size_t bin) const;
+  std::size_t bins() const { return counts_.size(); }
+
+  /// ASCII rendering, one bar per bin.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace manet::stats

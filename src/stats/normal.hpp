@@ -1,0 +1,18 @@
+#pragma once
+
+namespace manet::stats {
+
+/// Standard normal cumulative distribution function Phi(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (the quantile / probit function), needed for
+/// the paper's margin of error (Eq. 9): z = quantile(1 - (1-cl)/2).
+/// Peter Acklam's rational approximation refined with one Halley step;
+/// absolute error below 1e-9 over (0, 1). Requires p in (0, 1).
+double normal_quantile(double p);
+
+/// Two-sided z value for a confidence level cl in (0, 1):
+/// z such that P(-z <= Z <= z) = cl. E.g. cl=0.95 -> 1.959964.
+double z_for_confidence(double cl);
+
+}  // namespace manet::stats

@@ -1,0 +1,115 @@
+#include "stats/time_series.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace manet::stats {
+
+void TimeSeries::add(const std::string& series, double x, double y) {
+  auto [it, inserted] = data_.try_emplace(series);
+  if (inserted) order_.push_back(series);
+  it->second.emplace_back(x, y);
+}
+
+bool TimeSeries::has(const std::string& series) const {
+  return data_.contains(series);
+}
+
+const std::vector<std::pair<double, double>>& TimeSeries::samples(
+    const std::string& series) const {
+  auto it = data_.find(series);
+  if (it == data_.end()) throw std::out_of_range{"unknown series: " + series};
+  return it->second;
+}
+
+std::vector<std::string> TimeSeries::series_names() const { return order_; }
+
+double TimeSeries::last(const std::string& series) const {
+  const auto& s = samples(series);
+  if (s.empty()) throw std::out_of_range{"empty series: " + series};
+  return s.back().second;
+}
+
+double TimeSeries::at_or_after(const std::string& series, double x) const {
+  for (const auto& [sx, sy] : samples(series))
+    if (sx >= x) return sy;
+  throw std::out_of_range{"no sample at or after x in " + series};
+}
+
+namespace {
+
+std::string format_cell(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string TimeSeries::to_table(const std::string& x_label,
+                                 int precision) const {
+  std::set<double> xs;
+  for (const auto& [_, samples] : data_)
+    for (const auto& [x, y] : samples) xs.insert(x);
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{x_label};
+  header.insert(header.end(), order_.begin(), order_.end());
+  rows.push_back(header);
+
+  for (double x : xs) {
+    std::vector<std::string> row{format_cell(x, 0)};
+    for (const auto& name : order_) {
+      const auto& s = data_.at(name);
+      auto it = std::find_if(s.begin(), s.end(), [&](const auto& p) {
+        return std::abs(p.first - x) < 1e-9;
+      });
+      row.push_back(it == s.end() ? "-" : format_cell(it->second, precision));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (const auto& row : rows)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string TimeSeries::to_csv(const std::string& x_label) const {
+  std::set<double> xs;
+  for (const auto& [_, samples] : data_)
+    for (const auto& [x, y] : samples) xs.insert(x);
+
+  std::ostringstream os;
+  os << x_label;
+  for (const auto& name : order_) os << ',' << name;
+  os << '\n';
+  for (double x : xs) {
+    os << x;
+    for (const auto& name : order_) {
+      const auto& s = data_.at(name);
+      auto it = std::find_if(s.begin(), s.end(), [&](const auto& p) {
+        return std::abs(p.first - x) < 1e-9;
+      });
+      os << ',';
+      if (it != s.end()) os << it->second;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace manet::stats

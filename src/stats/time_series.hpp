@@ -1,0 +1,36 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace manet::stats {
+
+/// Named series of (x, y) samples; the figure benches record trust/detect
+/// trajectories into one of these and render it as aligned text columns.
+class TimeSeries {
+ public:
+  void add(const std::string& series, double x, double y);
+  bool has(const std::string& series) const;
+  const std::vector<std::pair<double, double>>& samples(
+      const std::string& series) const;
+  std::vector<std::string> series_names() const;
+
+  /// Value of the last sample of a series.
+  double last(const std::string& series) const;
+  /// Value at the first sample whose x >= the given x.
+  double at_or_after(const std::string& series, double x) const;
+
+  /// Renders a column-aligned table: first column x (union of all series'
+  /// x values), one column per series ("-" where a series has no sample).
+  std::string to_table(const std::string& x_label, int precision = 4) const;
+
+  /// Renders CSV with the same layout (for downstream plotting).
+  std::string to_csv(const std::string& x_label) const;
+
+ private:
+  std::map<std::string, std::vector<std::pair<double, double>>> data_;
+  std::vector<std::string> order_;  // first-insertion order of series
+};
+
+}  // namespace manet::stats

@@ -1,0 +1,48 @@
+#include "trust/detection.hpp"
+
+namespace manet::trust {
+
+double aggregate_detection(std::span<const WeightedAnswer> answers) {
+  double denom = 0.0;
+  for (const auto& a : answers) denom += a.trust;
+  if (denom <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const auto& a : answers) sum += a.trust * a.evidence;
+  return sum / denom;
+}
+
+std::string to_string(Verdict v) {
+  switch (v) {
+    case Verdict::kWellBehaving:
+      return "well-behaving";
+    case Verdict::kIntruder:
+      return "intruder";
+    case Verdict::kUnrecognized:
+      return "unrecognized";
+  }
+  return "?";
+}
+
+Decision decide(std::span<const WeightedAnswer> answers,
+                const DecisionConfig& config) {
+  Decision d;
+  d.answers_used = answers.size();
+  d.detect = aggregate_detection(answers);
+
+  std::vector<double> samples;
+  samples.reserve(answers.size());
+  for (const auto& a : answers) samples.push_back(a.evidence);
+  d.interval = stats::confidence_interval(samples, config.confidence_level);
+
+  const double eps = config.use_confidence_interval ? d.interval.margin : 0.0;
+  if (d.detect - eps >= config.gamma && d.detect - eps <= 1.0) {
+    d.verdict = Verdict::kWellBehaving;
+  } else if (d.detect + eps <= -config.gamma && d.detect + eps >= -1.0) {
+    d.verdict = Verdict::kIntruder;
+  } else {
+    d.verdict = Verdict::kUnrecognized;
+  }
+  return d;
+}
+
+}  // namespace manet::trust

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "stats/confidence.hpp"
+
+namespace manet::trust {
+
+/// One second-hand answer entering the trusted aggregation of Eq. 8:
+/// `evidence` is e^{Si,I} in {-1, 0, +1} (-1 "the advertised link is wrong",
+/// +1 "the link is correct", 0 "no answer before the timeout"), and `trust`
+/// is T^{A,Si}, the investigator's trust in the answering node.
+struct WeightedAnswer {
+  net::NodeId source;
+  double trust = 0.0;
+  double evidence = 0.0;
+};
+
+/// Eq. 8: Detect^{A,I} = sum_i w_i T^{A,Si} e^{Si,I} with
+/// w_i = 1 / sum_j T^{A,Sj}. Result lies in [-1, 1]; near -1 means the
+/// suspect falsified the link. Returns 0 when total trust is not positive
+/// (no usable opinions).
+double aggregate_detection(std::span<const WeightedAnswer> answers);
+
+/// Verdict of the decision rule (Eq. 10).
+enum class Verdict {
+  kWellBehaving,
+  kIntruder,
+  kUnrecognized,  ///< gather more evidence
+};
+
+std::string to_string(Verdict v);
+
+struct DecisionConfig {
+  double gamma = 0.6;            ///< decision threshold of Eq. 10 / §V
+  double confidence_level = 0.95;  ///< cl of Eq. 9
+  /// When true (paper behaviour) the margin of error gates the decision;
+  /// when false the rule degenerates to simple thresholding — the Table D
+  /// ablation compares the two.
+  bool use_confidence_interval = true;
+};
+
+/// Full outcome of one detection decision.
+struct Decision {
+  Verdict verdict = Verdict::kUnrecognized;
+  double detect = 0.0;                  ///< Eq. 8 value
+  stats::ConfidenceInterval interval;   ///< Eq. 9 over the evidence samples
+  std::size_t answers_used = 0;
+};
+
+/// Applies Eqs. 8-10: aggregates the answers, computes the confidence
+/// interval over the raw evidence samples (their count and spread determine
+/// the margin, per §IV-C), and classifies:
+///   well-behaving  if  gamma <= Detect - eps <= 1
+///   intruder       if  -1 <= Detect + eps <= -gamma
+///   unrecognized   otherwise.
+Decision decide(std::span<const WeightedAnswer> answers,
+                const DecisionConfig& config);
+
+}  // namespace manet::trust

@@ -1,0 +1,25 @@
+#include "trust/evidence.hpp"
+
+namespace manet::trust {
+
+Evidence honest_answer_evidence(double reward_weight) {
+  return Evidence{+1.0, reward_weight, true, "honest_answer"};
+}
+
+Evidence lie_evidence(double gravity_weight) {
+  return Evidence{-1.0, gravity_weight, true, "lied_in_investigation"};
+}
+
+Evidence relay_evidence(double reward_weight) {
+  return Evidence{+1.0, reward_weight, true, "relayed_traffic"};
+}
+
+Evidence drop_evidence(double gravity_weight) {
+  return Evidence{-1.0, gravity_weight, true, "dropped_traffic"};
+}
+
+Evidence intrusion_evidence(double gravity_weight) {
+  return Evidence{-1.0, gravity_weight, true, "intrusion_confirmed"};
+}
+
+}  // namespace manet::trust

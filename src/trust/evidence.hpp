@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace manet::trust {
+
+using net::NodeId;
+
+/// One piece of evidence about a subject node, collected by an observer
+/// during a time slot (the e^{A,I}_j of Eq. 5). Beneficial activities carry
+/// positive values, harmful ones negative (paper Property 1); `weight` is
+/// the alpha_j gravity/reputability factor (Properties 2-3).
+struct Evidence {
+  double value = 0.0;   ///< sign carries beneficial/harmful
+  double weight = 1.0;  ///< alpha_j
+  /// Second-hand evidence is less reliable than first-hand (Property 5);
+  /// callers may down-weight it or route it through Eq. 6/7 instead.
+  bool first_hand = true;
+  std::string reason;   ///< free-text audit trail ("lied_in_round_3", ...)
+};
+
+/// Canonical evidence constructors used across the IDS.
+Evidence honest_answer_evidence(double reward_weight);
+Evidence lie_evidence(double gravity_weight);
+Evidence relay_evidence(double reward_weight);
+Evidence drop_evidence(double gravity_weight);
+Evidence intrusion_evidence(double gravity_weight);
+
+}  // namespace manet::trust

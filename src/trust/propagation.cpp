@@ -1,0 +1,24 @@
+#include "trust/propagation.hpp"
+
+namespace manet::trust {
+
+double concatenated_trust(double recommendation_a_s, double trust_s_i) {
+  return recommendation_a_s * trust_s_i;
+}
+
+double multipath_trust(std::span<const RecommendationPath> paths) {
+  double denom = 0.0;
+  for (const auto& p : paths) denom += p.recommendation;
+  if (denom <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : paths) sum += p.recommendation * p.trust;
+  return sum / denom;
+}
+
+double chained_trust(std::span<const double> link_values) {
+  double acc = 1.0;
+  for (double v : link_values) acc = concatenated_trust(acc, v);
+  return acc;
+}
+
+}  // namespace manet::trust

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <utility>
+
+#include "net/node_id.hpp"
+
+namespace manet::trust {
+
+/// Trust propagation through third parties, after the paper's Eqs. 6-7 and
+/// the information-theoretic model they cite (Sun et al., JSAC 2006).
+
+/// Eq. 6 (concatenated propagation): A's belief about I through a single
+/// recommender S is Tc^{A,I} = R^{A,S} * T^{S,I}.
+/// Trust does not grow through a chain: |Tc| <= min(|R|, |T|) given values
+/// in [-1,1]; a distrusted recommender (R < 0) inverts nothing — the result
+/// is simply discounted toward 0 by the multiplication.
+double concatenated_trust(double recommendation_a_s, double trust_s_i);
+
+/// One recommendation path for Eq. 7.
+struct RecommendationPath {
+  net::NodeId recommender;
+  double recommendation;  ///< R^{A,Si}
+  double trust;           ///< T^{Si,I}
+};
+
+/// Eq. 7 (multipath propagation): Tm^{A,I} = sum_i w_i R^{A,Si} T^{Si,I}
+/// with w_i = 1 / sum_j R^{A,Sj}. Paths whose recommendation sum is not
+/// positive carry no usable information; the function then returns 0
+/// (maximal uncertainty) rather than dividing by a non-positive weight.
+double multipath_trust(std::span<const RecommendationPath> paths);
+
+/// Concatenation along an arbitrary chain A -> S1 -> ... -> Sk -> I:
+/// repeated application of Eq. 6.
+double chained_trust(std::span<const double> link_values);
+
+}  // namespace manet::trust

@@ -1,0 +1,74 @@
+#include "trust/trust_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/entropy.hpp"
+
+namespace manet::trust {
+
+TrustStore::TrustStore(TrustParams params) : params_{params} {
+  if (params_.min_trust >= params_.max_trust)
+    throw std::invalid_argument{"min_trust must be < max_trust"};
+  if (params_.forgetting < 0.0 || params_.forgetting > 1.0)
+    throw std::invalid_argument{"forgetting factor outside [0,1]"};
+}
+
+double TrustStore::trust(NodeId subject) const {
+  auto it = trust_.find(subject);
+  return it == trust_.end() ? params_.default_trust : it->second;
+}
+
+void TrustStore::set_trust(NodeId subject, double value) {
+  trust_[subject] =
+      std::clamp(value, params_.min_trust, params_.max_trust);
+}
+
+double TrustStore::apply_evidence(NodeId subject,
+                                  std::span<const Evidence> evidences) {
+  // Eq. 5: T_t = sum_j alpha_j e_j + beta T_{t-1}.
+  double sum = 0.0;
+  for (const auto& e : evidences) sum += e.weight * e.value;
+  const double updated = sum + params_.forgetting * trust(subject);
+  set_trust(subject, updated);
+  return trust(subject);
+}
+
+double TrustStore::decay_idle(NodeId subject) {
+  const double current = trust(subject);
+  const double target = params_.default_trust;
+  const double rate = current > target ? params_.idle_rate_from_above
+                                       : params_.idle_rate_from_below;
+  set_trust(subject, current + rate * (target - current));
+  return trust(subject);
+}
+
+void TrustStore::decay_all_idle() {
+  for (auto& [subject, _] : trust_) decay_idle(subject);
+}
+
+void TrustStore::record_interaction(NodeId subject, bool positive) {
+  auto& c = interactions_[subject];
+  ++c.total;
+  if (positive) ++c.positive;
+}
+
+double TrustStore::recommendation_trust(NodeId subject) const {
+  auto it = interactions_.find(subject);
+  // Laplace smoothing keeps p off the 0/1 poles and yields the maximally
+  // uncertain p=0.5 (trust 0) for never-seen recommenders.
+  const int positive = it == interactions_.end() ? 0 : it->second.positive;
+  const int total = it == interactions_.end() ? 0 : it->second.total;
+  const double p =
+      (static_cast<double>(positive) + 1.0) / (static_cast<double>(total) + 2.0);
+  return stats::entropy_trust(p);
+}
+
+std::vector<NodeId> TrustStore::subjects() const {
+  std::vector<NodeId> out;
+  out.reserve(trust_.size());
+  for (const auto& [id, _] : trust_) out.push_back(id);
+  return out;
+}
+
+}  // namespace manet::trust

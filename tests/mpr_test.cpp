@@ -1,0 +1,169 @@
+// Tests for the RFC 3626 §8.3.1 MPR selection heuristic, including
+// randomized property sweeps over the coverage invariant — the invariant a
+// link spoofing attack exploits from the victim's side.
+
+#include <gtest/gtest.h>
+
+#include "olsr/mpr_selection.hpp"
+#include "sim/rng.hpp"
+
+namespace manet::olsr {
+namespace {
+
+NodeId n(std::uint32_t v) { return NodeId{v}; }
+
+TEST(MprSelection, EmptyInputsEmptyMprs) {
+  EXPECT_TRUE(select_mprs(MprInputs{}).empty());
+}
+
+TEST(MprSelection, NoTwoHopsNoMprs) {
+  MprInputs in;
+  in.neighbors[n(1)] = Willingness::kDefault;
+  in.neighbors[n(2)] = Willingness::kDefault;
+  EXPECT_TRUE(select_mprs(in).empty());
+}
+
+TEST(MprSelection, WillAlwaysIsAlwaysSelected) {
+  MprInputs in;
+  in.neighbors[n(1)] = Willingness::kAlways;
+  in.neighbors[n(2)] = Willingness::kDefault;
+  in.reach[n(2)] = {n(10)};
+  const auto mprs = select_mprs(in);
+  EXPECT_TRUE(mprs.contains(n(1)));
+  EXPECT_TRUE(mprs.contains(n(2)));
+}
+
+TEST(MprSelection, SoleProviderForced) {
+  MprInputs in;
+  in.neighbors[n(1)] = Willingness::kDefault;
+  in.neighbors[n(2)] = Willingness::kDefault;
+  in.reach[n(1)] = {n(10), n(11)};
+  in.reach[n(2)] = {n(11), n(12)};  // only n2 reaches n12
+  const auto mprs = select_mprs(in);
+  EXPECT_TRUE(mprs.contains(n(2)));
+}
+
+TEST(MprSelection, GreedyPrefersLargerCoverage) {
+  MprInputs in;
+  for (std::uint32_t i = 1; i <= 3; ++i)
+    in.neighbors[n(i)] = Willingness::kDefault;
+  in.reach[n(1)] = {n(10), n(11), n(12)};
+  in.reach[n(2)] = {n(10)};
+  in.reach[n(3)] = {n(11)};
+  const auto mprs = select_mprs(in);
+  EXPECT_EQ(mprs, (std::set<NodeId>{n(1)}));
+}
+
+TEST(MprSelection, TieBrokenByWillingness) {
+  MprInputs in;
+  in.neighbors[n(1)] = Willingness::kLow;
+  in.neighbors[n(2)] = Willingness::kHigh;
+  in.reach[n(1)] = {n(10)};
+  in.reach[n(2)] = {n(10)};
+  const auto mprs = select_mprs(in);
+  EXPECT_EQ(mprs, (std::set<NodeId>{n(2)}));
+}
+
+TEST(MprSelection, TieBrokenByIdForDeterminism) {
+  MprInputs in;
+  in.neighbors[n(5)] = Willingness::kDefault;
+  in.neighbors[n(2)] = Willingness::kDefault;
+  in.reach[n(5)] = {n(10)};
+  in.reach[n(2)] = {n(10)};
+  EXPECT_EQ(select_mprs(in), (std::set<NodeId>{n(2)}));
+}
+
+TEST(MprSelection, UnreachableTwoHopDoesNotLoopForever) {
+  MprInputs in;
+  in.neighbors[n(1)] = Willingness::kDefault;
+  in.reach[n(1)] = {n(10)};
+  // n11 appears via a neighbor with no entry in `neighbors` — a degenerate
+  // input; the loop must terminate with partial coverage.
+  in.reach[n(99)] = {n(11)};
+  const auto mprs = select_mprs(in);
+  EXPECT_TRUE(mprs.contains(n(1)));
+}
+
+TEST(MprSelection, PruneRemovesRedundant) {
+  MprInputs in;
+  for (std::uint32_t i = 1; i <= 3; ++i)
+    in.neighbors[n(i)] = Willingness::kDefault;
+  // n1 covers everything; n2/n3 cover subsets.
+  in.reach[n(1)] = {n(10), n(11)};
+  in.reach[n(2)] = {n(10)};
+  in.reach[n(3)] = {n(11)};
+  auto pruned = select_mprs(in, /*prune_redundant=*/true);
+  EXPECT_TRUE(covers_all_two_hops(in, pruned));
+  EXPECT_EQ(pruned.size(), 1u);
+}
+
+TEST(MprSelection, CoversAllTwoHopsDetectsGaps) {
+  MprInputs in;
+  in.neighbors[n(1)] = Willingness::kDefault;
+  in.neighbors[n(2)] = Willingness::kDefault;
+  in.reach[n(1)] = {n(10)};
+  in.reach[n(2)] = {n(11)};
+  EXPECT_FALSE(covers_all_two_hops(in, {n(1)}));
+  EXPECT_TRUE(covers_all_two_hops(in, {n(1), n(2)}));
+}
+
+// The paper's Expression 1 exploit, from the selector's perspective: a
+// neighbor advertising a phantom 2-hop node is guaranteed to be selected,
+// because it is the phantom's sole provider.
+TEST(MprSelection, PhantomNeighborForcesAttackerSelection) {
+  MprInputs in;
+  for (std::uint32_t i = 1; i <= 4; ++i)
+    in.neighbors[n(i)] = Willingness::kDefault;
+  in.reach[n(1)] = {n(10), n(11)};
+  in.reach[n(2)] = {n(10), n(11)};
+  // The attacker n4 has poor real coverage but invents phantom n99.
+  in.reach[n(4)] = {n(99)};
+  const auto mprs = select_mprs(in);
+  EXPECT_TRUE(mprs.contains(n(4)));
+}
+
+// Property sweep: for random neighborhoods, the selected MPR set always
+// covers every strict 2-hop node, never includes WILL_NEVER-excluded
+// entries (the caller drops them from reach), and pruning preserves
+// coverage while never enlarging the set.
+class MprProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MprProperty, CoverageInvariants) {
+  sim::Rng rng{GetParam()};
+  MprInputs in;
+  const int n1_count = static_cast<int>(rng.uniform_int(1, 12));
+  const int n2_count = static_cast<int>(rng.uniform_int(1, 20));
+  for (int i = 1; i <= n1_count; ++i) {
+    const auto w = std::vector<Willingness>{
+        Willingness::kLow, Willingness::kDefault, Willingness::kHigh,
+        Willingness::kAlways}[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    in.neighbors[n(static_cast<std::uint32_t>(i))] = w;
+  }
+  for (int j = 0; j < n2_count; ++j) {
+    const auto two_hop = n(static_cast<std::uint32_t>(100 + j));
+    const int providers = static_cast<int>(rng.uniform_int(1, n1_count));
+    for (int k = 0; k < providers; ++k) {
+      const auto via =
+          n(static_cast<std::uint32_t>(rng.uniform_int(1, n1_count)));
+      in.reach[via].insert(two_hop);
+    }
+  }
+
+  const auto mprs = select_mprs(in);
+  EXPECT_TRUE(covers_all_two_hops(in, mprs));
+  for (auto m : mprs) EXPECT_TRUE(in.neighbors.contains(m));
+
+  const auto pruned = select_mprs(in, /*prune_redundant=*/true);
+  EXPECT_TRUE(covers_all_two_hops(in, pruned));
+  EXPECT_LE(pruned.size(), mprs.size());
+  // WILL_ALWAYS members survive pruning.
+  for (const auto& [id, w] : in.neighbors)
+    if (w == Willingness::kAlways && mprs.contains(id))
+      EXPECT_TRUE(pruned.contains(id));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MprProperty,
+                         ::testing::Range<std::uint64_t>(1, 40));
+
+}  // namespace
+}  // namespace manet::olsr

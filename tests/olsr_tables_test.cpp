@@ -1,0 +1,299 @@
+// Unit tests for the OLSR information bases: link set, neighbor/2-hop
+// tables, topology set, duplicate set, MID/HNA sets, routing table.
+
+#include <gtest/gtest.h>
+
+#include "olsr/assoc_sets.hpp"
+#include "olsr/duplicate_set.hpp"
+#include "olsr/link_set.hpp"
+#include "olsr/neighbor_table.hpp"
+#include "olsr/routing_table.hpp"
+#include "olsr/topology_set.hpp"
+
+namespace manet::olsr {
+namespace {
+
+constexpr auto kVtime = sim::Duration::from_seconds(6.0);
+
+sim::Time t(double s) { return sim::Time::from_seconds(s); }
+
+TEST(LinkSet, HeardOnlyIsAsymmetric) {
+  LinkSet ls;
+  const auto change = ls.on_hello(t(0), NodeId{1}, false, false, kVtime);
+  EXPECT_EQ(change, LinkSet::Change::kBecameAsym);
+  EXPECT_FALSE(ls.is_symmetric(t(0), NodeId{1}));
+  EXPECT_EQ(ls.asymmetric_neighbors(t(1)),
+            (std::vector<NodeId>{NodeId{1}}));
+}
+
+TEST(LinkSet, ListedUpgradesToSymmetric) {
+  LinkSet ls;
+  ls.on_hello(t(0), NodeId{1}, false, false, kVtime);
+  const auto change = ls.on_hello(t(2), NodeId{1}, true, false, kVtime);
+  EXPECT_EQ(change, LinkSet::Change::kBecameSym);
+  EXPECT_TRUE(ls.is_symmetric(t(2), NodeId{1}));
+  EXPECT_EQ(ls.symmetric_neighbors(t(3)), (std::vector<NodeId>{NodeId{1}}));
+}
+
+TEST(LinkSet, LostDeclarationDowngrades) {
+  LinkSet ls;
+  ls.on_hello(t(0), NodeId{1}, true, false, kVtime);
+  ASSERT_TRUE(ls.is_symmetric(t(1), NodeId{1}));
+  const auto change = ls.on_hello(t(2), NodeId{1}, false, true, kVtime);
+  EXPECT_EQ(change, LinkSet::Change::kLost);
+  EXPECT_FALSE(ls.is_symmetric(t(2), NodeId{1}));
+}
+
+TEST(LinkSet, SymmetryTimesOut) {
+  LinkSet ls;
+  ls.on_hello(t(0), NodeId{1}, true, false, kVtime);
+  EXPECT_TRUE(ls.is_symmetric(t(5.9), NodeId{1}));
+  EXPECT_FALSE(ls.is_symmetric(t(6.1), NodeId{1}));
+  const auto lost = ls.expire(t(6.1));
+  EXPECT_EQ(lost, (std::vector<NodeId>{NodeId{1}}));
+}
+
+TEST(LinkSet, ExpireRemovesFullyStaleTuples) {
+  LinkSet ls;
+  ls.on_hello(t(0), NodeId{1}, false, false, kVtime);
+  EXPECT_EQ(ls.size(), 1u);
+  ls.expire(t(7));
+  EXPECT_EQ(ls.size(), 0u);
+}
+
+TEST(LinkSet, RefreshKeepsLinkAlive) {
+  LinkSet ls;
+  for (double s = 0; s < 20; s += 2) ls.on_hello(t(s), NodeId{1}, true, false, kVtime);
+  EXPECT_TRUE(ls.is_symmetric(t(20), NodeId{1}));
+}
+
+TEST(NeighborTable, UpsertAndRemove) {
+  NeighborTable nt;
+  nt.upsert_neighbor(NodeId{1}, Willingness::kHigh, true);
+  ASSERT_TRUE(nt.neighbor(NodeId{1}).has_value());
+  EXPECT_EQ(nt.willingness_of(NodeId{1}), Willingness::kHigh);
+  EXPECT_EQ(nt.symmetric_neighbors(), (std::vector<NodeId>{NodeId{1}}));
+  nt.remove_neighbor(NodeId{1});
+  EXPECT_FALSE(nt.neighbor(NodeId{1}).has_value());
+}
+
+TEST(NeighborTable, StrictTwoHopsExcludesSelfAndNeighbors) {
+  NeighborTable nt;
+  nt.upsert_neighbor(NodeId{1}, Willingness::kDefault, true);
+  nt.upsert_neighbor(NodeId{2}, Willingness::kDefault, true);
+  // n1 advertises: me (n0), n2 (also my neighbor), n3 (true 2-hop).
+  nt.set_two_hops_via(NodeId{1}, {NodeId{0}, NodeId{2}, NodeId{3}}, t(100));
+  const auto strict = nt.strict_two_hops(NodeId{0});
+  EXPECT_EQ(strict, (std::set<NodeId>{NodeId{3}}));
+}
+
+TEST(NeighborTable, TwoHopsViaNonSymmetricNeighborIgnored) {
+  NeighborTable nt;
+  nt.upsert_neighbor(NodeId{1}, Willingness::kDefault, false);
+  nt.set_two_hops_via(NodeId{1}, {NodeId{3}}, t(100));
+  EXPECT_TRUE(nt.strict_two_hops(NodeId{0}).empty());
+}
+
+TEST(NeighborTable, ReachabilityExcludesWillNever) {
+  NeighborTable nt;
+  nt.upsert_neighbor(NodeId{1}, Willingness::kNever, true);
+  nt.upsert_neighbor(NodeId{2}, Willingness::kDefault, true);
+  nt.set_two_hops_via(NodeId{1}, {NodeId{5}}, t(100));
+  nt.set_two_hops_via(NodeId{2}, {NodeId{5}}, t(100));
+  const auto reach = nt.reachability(NodeId{0});
+  EXPECT_FALSE(reach.contains(NodeId{1}));
+  EXPECT_TRUE(reach.contains(NodeId{2}));
+}
+
+TEST(NeighborTable, TwoHopExpiry) {
+  NeighborTable nt;
+  nt.upsert_neighbor(NodeId{1}, Willingness::kDefault, true);
+  nt.set_two_hops_via(NodeId{1}, {NodeId{3}}, t(5));
+  EXPECT_EQ(nt.two_hops_via(NodeId{1}).size(), 1u);
+  nt.expire_two_hops(t(6));
+  EXPECT_TRUE(nt.two_hops_via(NodeId{1}).empty());
+}
+
+TEST(NeighborTable, SetTwoHopsReplacesOldAdvertisement) {
+  NeighborTable nt;
+  nt.upsert_neighbor(NodeId{1}, Willingness::kDefault, true);
+  nt.set_two_hops_via(NodeId{1}, {NodeId{3}, NodeId{4}}, t(100));
+  nt.set_two_hops_via(NodeId{1}, {NodeId{5}}, t(100));
+  EXPECT_EQ(nt.two_hops_via(NodeId{1}), (std::set<NodeId>{NodeId{5}}));
+}
+
+TEST(TopologySet, RecordsAndExpires) {
+  TopologySet ts;
+  EXPECT_TRUE(ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}, NodeId{3}}, kVtime));
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.advertised_by(NodeId{1}).size(), 2u);
+  ts.expire(t(7));
+  EXPECT_EQ(ts.size(), 0u);
+}
+
+TEST(TopologySet, StaleAnsnRejected) {
+  TopologySet ts;
+  EXPECT_TRUE(ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}}, kVtime));
+  EXPECT_FALSE(ts.on_tc(t(1), NodeId{1}, 9, {NodeId{9}}, kVtime));
+  EXPECT_EQ(ts.advertised_by(NodeId{1}), (std::vector<NodeId>{NodeId{2}}));
+}
+
+TEST(TopologySet, NewerAnsnReplacesOlderTuples) {
+  TopologySet ts;
+  ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}, NodeId{3}}, kVtime);
+  ts.on_tc(t(1), NodeId{1}, 11, {NodeId{4}}, kVtime);
+  EXPECT_EQ(ts.advertised_by(NodeId{1}), (std::vector<NodeId>{NodeId{4}}));
+}
+
+TEST(TopologySet, AnsnWraparound) {
+  TopologySet ts;
+  ts.on_tc(t(0), NodeId{1}, 65530, {NodeId{2}}, kVtime);
+  // 5 is "newer" than 65530 modulo 2^16 (RFC 3626 §19).
+  EXPECT_TRUE(ts.on_tc(t(1), NodeId{1}, 5, {NodeId{3}}, kVtime));
+  EXPECT_EQ(ts.advertised_by(NodeId{1}), (std::vector<NodeId>{NodeId{3}}));
+}
+
+TEST(DuplicateSet, SeenAndForwarded) {
+  DuplicateSet ds;
+  EXPECT_FALSE(ds.seen(NodeId{1}, 5));
+  ds.record(t(0), NodeId{1}, 5, false, kVtime);
+  EXPECT_TRUE(ds.seen(NodeId{1}, 5));
+  EXPECT_FALSE(ds.forwarded(NodeId{1}, 5));
+  ds.record(t(1), NodeId{1}, 5, true, kVtime);
+  EXPECT_TRUE(ds.forwarded(NodeId{1}, 5));
+}
+
+TEST(DuplicateSet, ForwardedFlagSticky) {
+  DuplicateSet ds;
+  ds.record(t(0), NodeId{1}, 5, true, kVtime);
+  ds.record(t(1), NodeId{1}, 5, false, kVtime);
+  EXPECT_TRUE(ds.forwarded(NodeId{1}, 5));
+}
+
+TEST(DuplicateSet, Expiry) {
+  DuplicateSet ds;
+  ds.record(t(0), NodeId{1}, 5, false, sim::Duration::from_seconds(2.0));
+  ds.expire(t(3));
+  EXPECT_FALSE(ds.seen(NodeId{1}, 5));
+}
+
+TEST(MidSet, ResolvesInterfaceToMain) {
+  MidSet ms;
+  ms.on_mid(t(0), NodeId{1}, {NodeId{100}, NodeId{101}}, kVtime);
+  EXPECT_EQ(ms.main_address_of(NodeId{100}), NodeId{1});
+  EXPECT_EQ(ms.main_address_of(NodeId{101}), NodeId{1});
+  // Unknown interfaces resolve to themselves (§5.4).
+  EXPECT_EQ(ms.main_address_of(NodeId{55}), NodeId{55});
+  EXPECT_EQ(ms.interfaces_of(NodeId{1}).size(), 2u);
+  ms.expire(t(7));
+  EXPECT_EQ(ms.main_address_of(NodeId{100}), NodeId{100});
+}
+
+TEST(HnaSet, GatewaysForNetwork) {
+  HnaSet hs;
+  hs.on_hna(t(0), NodeId{1}, {{0x0A000000u, 8}}, kVtime);
+  hs.on_hna(t(0), NodeId{2}, {{0x0A000000u, 8}}, kVtime);
+  const auto gws = hs.gateways_for(0x0A000000u, 8);
+  EXPECT_EQ(gws.size(), 2u);
+  EXPECT_TRUE(hs.gateways_for(0x0B000000u, 8).empty());
+  hs.expire(t(7));
+  EXPECT_TRUE(hs.gateways_for(0x0A000000u, 8).empty());
+}
+
+KnowledgeGraph line_graph(int n) {
+  KnowledgeGraph g;
+  for (int i = 0; i + 1 < n; ++i) {
+    g[NodeId{static_cast<std::uint32_t>(i)}].insert(
+        NodeId{static_cast<std::uint32_t>(i + 1)});
+    g[NodeId{static_cast<std::uint32_t>(i + 1)}].insert(
+        NodeId{static_cast<std::uint32_t>(i)});
+  }
+  return g;
+}
+
+TEST(RoutingTable, LineGraphDistances) {
+  RoutingTable rt;
+  rt.recompute(NodeId{0}, line_graph(5));
+  EXPECT_EQ(rt.size(), 4u);
+  for (std::uint32_t d = 1; d <= 4; ++d) {
+    const auto e = rt.route_to(NodeId{d});
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->distance, static_cast<int>(d));
+    EXPECT_EQ(e->next_hop, NodeId{1});  // everything goes through n1
+  }
+}
+
+TEST(RoutingTable, PathReconstruction) {
+  RoutingTable rt;
+  rt.recompute(NodeId{0}, line_graph(4));
+  const auto path = rt.path_to(NodeId{3});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<NodeId>{NodeId{1}, NodeId{2}, NodeId{3}}));
+}
+
+TEST(RoutingTable, UnreachableIsAbsent) {
+  KnowledgeGraph g = line_graph(3);
+  g[NodeId{10}].insert(NodeId{11});  // disconnected island
+  g[NodeId{11}].insert(NodeId{10});
+  RoutingTable rt;
+  rt.recompute(NodeId{0}, g);
+  EXPECT_FALSE(rt.route_to(NodeId{10}).has_value());
+  EXPECT_FALSE(rt.path_to(NodeId{10}).has_value());
+}
+
+TEST(RoutingTable, RecomputeReportsDiff) {
+  RoutingTable rt;
+  auto [added1, removed1] = rt.recompute(NodeId{0}, line_graph(3));
+  EXPECT_EQ(added1.size(), 2u);
+  EXPECT_TRUE(removed1.empty());
+  auto [added2, removed2] = rt.recompute(NodeId{0}, line_graph(2));
+  EXPECT_TRUE(added2.empty());
+  EXPECT_EQ(removed2.size(), 1u);
+}
+
+TEST(RoutingTable, ShortestPathAvoidsNodes) {
+  // Diamond: 0-1-3 and 0-2-3.
+  KnowledgeGraph g;
+  auto link = [&](std::uint32_t a, std::uint32_t b) {
+    g[NodeId{a}].insert(NodeId{b});
+    g[NodeId{b}].insert(NodeId{a});
+  };
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(2, 3);
+
+  const auto direct = RoutingTable::shortest_path(g, NodeId{0}, NodeId{3});
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->size(), 2u);
+
+  const auto avoiding =
+      RoutingTable::shortest_path(g, NodeId{0}, NodeId{3}, {NodeId{1}});
+  ASSERT_TRUE(avoiding.has_value());
+  EXPECT_EQ(*avoiding, (std::vector<NodeId>{NodeId{2}, NodeId{3}}));
+
+  const auto blocked = RoutingTable::shortest_path(g, NodeId{0}, NodeId{3},
+                                                   {NodeId{1}, NodeId{2}});
+  EXPECT_FALSE(blocked.has_value());
+}
+
+TEST(RoutingTable, AvoidedDestinationStillReachable) {
+  // Avoiding X as a relay must not forbid X as the final destination.
+  KnowledgeGraph g;
+  g[NodeId{0}].insert(NodeId{1});
+  g[NodeId{1}].insert(NodeId{0});
+  const auto p =
+      RoutingTable::shortest_path(g, NodeId{0}, NodeId{1}, {NodeId{1}});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (std::vector<NodeId>{NodeId{1}}));
+}
+
+TEST(RoutingTable, SelfPathIsEmpty) {
+  const auto p =
+      RoutingTable::shortest_path(line_graph(3), NodeId{0}, NodeId{0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+}  // namespace
+}  // namespace manet::olsr

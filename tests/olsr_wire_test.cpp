@@ -1,0 +1,240 @@
+// Unit tests for RFC 3626 wire (de)serialization, including the
+// mantissa/exponent Vtime encoding and malformed-packet rejection.
+
+#include <gtest/gtest.h>
+
+#include "olsr/wire.hpp"
+#include "sim/rng.hpp"
+
+namespace manet::olsr {
+namespace {
+
+TEST(Vtime, EncodeDecodeMonotone) {
+  // The encoding rounds UP to the next representable value, never down
+  // (validity times must not shrink).
+  for (double s : {0.1, 0.5, 1.0, 2.0, 6.0, 15.0, 30.0, 120.0}) {
+    const auto enc = encode_vtime(sim::Duration::from_seconds(s));
+    const auto dec = decode_vtime(enc);
+    EXPECT_GE(dec.seconds() + 1e-6, s) << "s=" << s;
+    EXPECT_LE(dec.seconds(), s * 1.15 + 0.1) << "s=" << s;
+  }
+}
+
+TEST(Vtime, KnownEncodings) {
+  // C=1/16s: encoding 0 decodes to exactly 1/16 s.
+  EXPECT_NEAR(decode_vtime(0).seconds(), 0.0625, 1e-9);
+  // a=0,b=5 -> 2 s exactly: value C*(1+0)*2^5.
+  EXPECT_NEAR(decode_vtime(0x05).seconds(), 2.0, 1e-9);
+  EXPECT_EQ(encode_vtime(sim::Duration::from_seconds(2.0)), 0x05);
+  // 6 s = C*(1+8/16)*2^6 -> a=8,b=6.
+  EXPECT_NEAR(decode_vtime(0x86).seconds(), 6.0, 1e-9);
+  EXPECT_EQ(encode_vtime(sim::Duration::from_seconds(6.0)), 0x86);
+}
+
+Message make_hello_message() {
+  HelloMessage h;
+  h.htime = sim::Duration::from_seconds(2.0);
+  h.willingness = Willingness::kHigh;
+  h.add(LinkType::kSym, NeighborType::kMprNeigh, NodeId{2});
+  h.add(LinkType::kSym, NeighborType::kSymNeigh, NodeId{3});
+  h.add(LinkType::kSym, NeighborType::kSymNeigh, NodeId{4});
+  h.add(LinkType::kAsym, NeighborType::kNotNeigh, NodeId{9});
+  Message m;
+  m.header.type = MessageType::kHello;
+  m.header.vtime = sim::Duration::from_seconds(6.0);
+  m.header.originator = NodeId{1};
+  m.header.ttl = 1;
+  m.header.hop_count = 0;
+  m.header.seq_num = 77;
+  m.body = h;
+  return m;
+}
+
+TEST(Wire, HelloRoundTrip) {
+  OlsrPacket p;
+  p.seq_num = 1234;
+  p.messages.push_back(make_hello_message());
+  const auto bytes = serialize_packet(p);
+  const auto back = parse_packet(bytes);
+
+  EXPECT_EQ(back.seq_num, 1234);
+  ASSERT_EQ(back.messages.size(), 1u);
+  const auto& m = back.messages[0];
+  EXPECT_EQ(m.header.type, MessageType::kHello);
+  EXPECT_EQ(m.header.originator, NodeId{1});
+  EXPECT_EQ(m.header.seq_num, 77);
+  const auto* h = m.as_hello();
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->willingness, Willingness::kHigh);
+  EXPECT_NEAR(h->htime.seconds(), 2.0, 1e-9);
+  const auto sym = h->symmetric_neighbors();
+  EXPECT_EQ(sym.size(), 3u);
+  EXPECT_EQ(h->all_neighbors().size(), 4u);
+}
+
+TEST(Wire, TcRoundTrip) {
+  TcMessage tc;
+  tc.ansn = 999;
+  tc.advertised = {NodeId{5}, NodeId{6}, NodeId{7}};
+  Message m;
+  m.header.type = MessageType::kTc;
+  m.header.originator = NodeId{2};
+  m.header.ttl = 255;
+  m.header.hop_count = 3;
+  m.header.seq_num = 1;
+  m.body = tc;
+
+  OlsrPacket p;
+  p.messages.push_back(m);
+  const auto back = parse_packet(serialize_packet(p));
+  const auto* t = back.messages.at(0).as_tc();
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->ansn, 999);
+  EXPECT_EQ(t->advertised, tc.advertised);
+  EXPECT_EQ(back.messages[0].header.hop_count, 3);
+}
+
+TEST(Wire, MidAndHnaRoundTrip) {
+  Message mid;
+  mid.header.type = MessageType::kMid;
+  mid.header.originator = NodeId{3};
+  mid.header.seq_num = 2;
+  mid.body = MidMessage{{NodeId{30}, NodeId{31}}};
+
+  Message hna;
+  hna.header.type = MessageType::kHna;
+  hna.header.originator = NodeId{3};
+  hna.header.seq_num = 3;
+  hna.body = HnaMessage{{{0x0A000000u, 8}, {0xC0A80000u, 16}}};
+
+  OlsrPacket p;
+  p.messages.push_back(mid);
+  p.messages.push_back(hna);
+  const auto back = parse_packet(serialize_packet(p));
+  ASSERT_EQ(back.messages.size(), 2u);
+  EXPECT_EQ(back.messages[0].as_mid()->interfaces,
+            (std::vector<NodeId>{NodeId{30}, NodeId{31}}));
+  const auto* h = back.messages[1].as_hna();
+  ASSERT_EQ(h->entries.size(), 2u);
+  EXPECT_EQ(h->entries[0].network, 0x0A000000u);
+  EXPECT_EQ(h->entries[0].prefix_len, 8);
+  EXPECT_EQ(h->entries[1].prefix_len, 16);
+}
+
+TEST(Wire, DataRoundTrip) {
+  DataMessage d;
+  d.source = NodeId{1};
+  d.destination = NodeId{9};
+  d.route = {NodeId{4}, NodeId{9}};
+  d.protocol = 42;
+  d.payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  Message m;
+  m.header.type = MessageType::kData;
+  m.header.originator = NodeId{1};
+  m.header.seq_num = 4;
+  m.body = d;
+
+  OlsrPacket p;
+  p.messages.push_back(m);
+  const auto back = parse_packet(serialize_packet(p));
+  const auto* dd = back.messages.at(0).as_data();
+  ASSERT_NE(dd, nullptr);
+  EXPECT_EQ(dd->source, d.source);
+  EXPECT_EQ(dd->destination, d.destination);
+  EXPECT_EQ(dd->route, d.route);
+  EXPECT_EQ(dd->protocol, 42);
+  EXPECT_EQ(dd->payload, d.payload);
+}
+
+TEST(Wire, MultiMessagePacket) {
+  OlsrPacket p;
+  p.seq_num = 5;
+  p.messages.push_back(make_hello_message());
+  Message tc;
+  tc.header.type = MessageType::kTc;
+  tc.header.originator = NodeId{1};
+  tc.header.seq_num = 78;
+  tc.body = TcMessage{10, {NodeId{2}}};
+  p.messages.push_back(tc);
+
+  const auto back = parse_packet(serialize_packet(p));
+  ASSERT_EQ(back.messages.size(), 2u);
+  EXPECT_NE(back.messages[0].as_hello(), nullptr);
+  EXPECT_NE(back.messages[1].as_tc(), nullptr);
+}
+
+TEST(Wire, TruncatedPacketThrows) {
+  OlsrPacket p;
+  p.messages.push_back(make_hello_message());
+  auto bytes = serialize_packet(p);
+  for (std::size_t cut : {1ul, 5ul, bytes.size() / 2, bytes.size() - 1}) {
+    net::Bytes truncated{bytes.begin(),
+                         bytes.begin() + static_cast<std::ptrdiff_t>(cut)};
+    EXPECT_THROW(parse_packet(truncated), WireError) << "cut=" << cut;
+  }
+}
+
+TEST(Wire, LengthMismatchThrows) {
+  OlsrPacket p;
+  p.messages.push_back(make_hello_message());
+  auto bytes = serialize_packet(p);
+  bytes.push_back(0);  // trailing garbage breaks the declared length
+  EXPECT_THROW(parse_packet(bytes), WireError);
+}
+
+TEST(Wire, UnknownMessageTypeThrows) {
+  OlsrPacket p;
+  p.messages.push_back(make_hello_message());
+  auto bytes = serialize_packet(p);
+  bytes[4] = 99;  // message type byte of the first message
+  EXPECT_THROW(parse_packet(bytes), WireError);
+}
+
+TEST(Wire, EmptyPacketRoundTrips) {
+  OlsrPacket p;
+  p.seq_num = 7;
+  const auto back = parse_packet(serialize_packet(p));
+  EXPECT_EQ(back.seq_num, 7);
+  EXPECT_TRUE(back.messages.empty());
+}
+
+TEST(Wire, WireSizeMatchesSerialization) {
+  const auto m = make_hello_message();
+  OlsrPacket p;
+  p.messages.push_back(m);
+  EXPECT_EQ(wire_size(m) + 4, serialize_packet(p).size());
+}
+
+// Property: round-trip over randomized hello shapes.
+class WireHelloProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireHelloProperty, RoundTrips) {
+  sim::Rng rng{GetParam()};
+  HelloMessage h;
+  h.willingness = Willingness::kDefault;
+  const int groups = static_cast<int>(rng.uniform_int(0, 3));
+  for (int g = 0; g < groups; ++g) {
+    const auto lt = static_cast<LinkType>(rng.uniform_int(0, 3));
+    const auto nt = static_cast<NeighborType>(rng.uniform_int(0, 2));
+    const int count = static_cast<int>(rng.uniform_int(1, 6));
+    for (int i = 0; i < count; ++i)
+      h.add(lt, nt, NodeId{static_cast<std::uint32_t>(rng.uniform_int(0, 200))});
+  }
+  Message m;
+  m.header.type = MessageType::kHello;
+  m.header.originator = NodeId{0};
+  m.header.seq_num = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+  m.body = h;
+  OlsrPacket p;
+  p.messages.push_back(m);
+  const auto back = parse_packet(serialize_packet(p));
+  const auto* hh = back.messages.at(0).as_hello();
+  ASSERT_NE(hh, nullptr);
+  EXPECT_EQ(hh->link_groups, h.link_groups);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireHelloProperty,
+                         ::testing::Range<std::uint64_t>(1, 20));
+
+}  // namespace
+}  // namespace manet::olsr

@@ -1,0 +1,274 @@
+// Tests for the signature engine and the predefined OLSR intrusion
+// signatures (the paper's "partially ordered sequences of events").
+
+#include <gtest/gtest.h>
+
+#include "core/signature.hpp"
+#include "core/signatures_olsr.hpp"
+
+namespace manet::core {
+namespace {
+
+using logging::LogRecord;
+using net::NodeId;
+
+LogRecord rec(double t, const std::string& event) {
+  LogRecord r;
+  r.time = sim::Time::from_seconds(t);
+  r.node = NodeId{0};
+  r.event = event;
+  return r;
+}
+
+EventPattern on_event(const std::string& name) {
+  return {name, [name](const LogRecord& r) { return r.event == name; }};
+}
+
+TEST(SignatureMatcher, SimpleOrderedSequence) {
+  Signature sig;
+  sig.name = "ab";
+  sig.window = sim::Duration::from_seconds(10);
+  sig.steps.resize(2);
+  sig.steps[0].pattern = on_event("a");
+  sig.steps[1].pattern = on_event("b");
+  sig.steps[1].after = {0};
+
+  SignatureMatcher m;
+  m.add_signature(sig);
+  EXPECT_TRUE(m.feed(rec(1, "a")).empty());
+  const auto matches = m.feed(rec(2, "b"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].signature, "ab");
+  EXPECT_EQ(matches[0].records.size(), 2u);
+}
+
+TEST(SignatureMatcher, OrderingEnforced) {
+  Signature sig;
+  sig.name = "ab";
+  sig.steps.resize(2);
+  sig.steps[0].pattern = on_event("a");
+  sig.steps[1].pattern = on_event("b");
+  sig.steps[1].after = {0};
+
+  SignatureMatcher m;
+  m.add_signature(sig);
+  // b before a: the b cannot match step 1 (dependency unmet), and a alone
+  // is incomplete.
+  EXPECT_TRUE(m.feed(rec(1, "b")).empty());
+  EXPECT_TRUE(m.feed(rec(2, "a")).empty());
+  // now a fresh b completes the partial opened by the a.
+  EXPECT_EQ(m.feed(rec(3, "b")).size(), 1u);
+}
+
+TEST(SignatureMatcher, UnorderedStepsMatchEitherWay) {
+  Signature sig;
+  sig.name = "xy";
+  sig.steps.resize(2);
+  sig.steps[0].pattern = on_event("x");
+  sig.steps[1].pattern = on_event("y");
+  // no `after`: partial order allows any interleaving
+
+  SignatureMatcher m;
+  m.add_signature(sig);
+  EXPECT_TRUE(m.feed(rec(1, "y")).empty());
+  EXPECT_EQ(m.feed(rec(2, "x")).size(), 1u);
+}
+
+TEST(SignatureMatcher, WindowExpiresPartials) {
+  Signature sig;
+  sig.name = "ab";
+  sig.window = sim::Duration::from_seconds(5);
+  sig.steps.resize(2);
+  sig.steps[0].pattern = on_event("a");
+  sig.steps[1].pattern = on_event("b");
+  sig.steps[1].after = {0};
+
+  SignatureMatcher m;
+  m.add_signature(sig);
+  m.feed(rec(1, "a"));
+  // 10 s later: the partial is stale, b must not complete it.
+  EXPECT_TRUE(m.feed(rec(11, "b")).empty());
+}
+
+TEST(SignatureMatcher, OptionalStepNotRequired) {
+  Signature sig;
+  sig.name = "a-opt-b";
+  sig.steps.resize(2);
+  sig.steps[0].pattern = on_event("a");
+  sig.steps[1].pattern = on_event("b");
+  sig.steps[1].optional = true;
+
+  SignatureMatcher m;
+  m.add_signature(sig);
+  EXPECT_EQ(m.feed(rec(1, "a")).size(), 1u);
+}
+
+TEST(SignatureMatcher, CorrelationFieldTiesRecords) {
+  Signature sig;
+  sig.name = "two_from_same";
+  sig.correlate_field = "from";
+  sig.steps.resize(2);
+  sig.steps[0].pattern = on_event("e");
+  sig.steps[1].pattern = on_event("e");
+  sig.steps[1].after = {0};
+
+  SignatureMatcher m;
+  m.add_signature(sig);
+  auto r1 = rec(1, "e");
+  r1.with("from", "n1");
+  auto r2 = rec(2, "e");
+  r2.with("from", "n2");
+  auto r3 = rec(3, "e");
+  r3.with("from", "n1");
+  EXPECT_TRUE(m.feed(r1).empty());
+  EXPECT_TRUE(m.feed(r2).empty());  // different correlation value
+  const auto matches = m.feed(r3);
+  ASSERT_GE(matches.size(), 1u);
+  EXPECT_EQ(matches[0].correlated_value, "n1");
+}
+
+TEST(SignatureMatcher, ConstraintVetoesCompletion) {
+  Signature sig;
+  sig.name = "constrained";
+  sig.steps.resize(1);
+  sig.steps[0].pattern = on_event("e");
+  sig.constraint = [](const std::vector<const LogRecord*>& recs) {
+    return recs[0]->field("ok").value_or("") == "1";
+  };
+
+  SignatureMatcher m;
+  m.add_signature(sig);
+  auto bad = rec(1, "e");
+  bad.with("ok", "0");
+  EXPECT_TRUE(m.feed(bad).empty());
+  auto good = rec(2, "e");
+  good.with("ok", "1");
+  EXPECT_EQ(m.feed(good).size(), 1u);
+}
+
+TEST(SignatureMatcher, MultipleSignaturesIndependent) {
+  SignatureMatcher m;
+  Signature s1;
+  s1.name = "s1";
+  s1.steps.resize(1);
+  s1.steps[0].pattern = on_event("a");
+  Signature s2;
+  s2.name = "s2";
+  s2.steps.resize(1);
+  s2.steps[0].pattern = on_event("b");
+  m.add_signature(s1);
+  m.add_signature(s2);
+  EXPECT_EQ(m.feed(rec(1, "a"))[0].signature, "s1");
+  EXPECT_EQ(m.feed(rec(2, "b"))[0].signature, "s2");
+}
+
+// --- predefined OLSR signatures ---
+
+LogRecord hello_recv(double t, NodeId from, const std::vector<NodeId>& sym,
+                     const std::vector<NodeId>& asym = {}) {
+  auto r = rec(t, "hello_recv");
+  r.with("from", from)
+      .with("sym", logging::join_node_list(sym))
+      .with("asym", logging::join_node_list(asym));
+  return r;
+}
+
+TEST(OlsrSignatures, LinkSpoofingClaimFires) {
+  SignatureMatcher m;
+  m.add_signature(
+      link_spoofing_claim_signature(sim::Duration::from_seconds(6)));
+  // I=n1 claims X=n2; X=n2's own HELLO omits n1.
+  m.feed(hello_recv(1, NodeId{1}, {NodeId{2}, NodeId{3}}));
+  const auto matches = m.feed(hello_recv(2, NodeId{2}, {NodeId{3}}));
+  ASSERT_GE(matches.size(), 1u);
+  EXPECT_EQ(matches[0].signature, "link_spoofing_claim");
+}
+
+TEST(OlsrSignatures, LinkSpoofingClaimSilentWhenConsistent) {
+  SignatureMatcher m;
+  m.add_signature(
+      link_spoofing_claim_signature(sim::Duration::from_seconds(6)));
+  m.feed(hello_recv(1, NodeId{1}, {NodeId{2}}));
+  EXPECT_TRUE(m.feed(hello_recv(2, NodeId{2}, {NodeId{1}})).empty());
+}
+
+TEST(OlsrSignatures, LinkOmissionFires) {
+  SignatureMatcher m;
+  m.add_signature(link_omission_signature(sim::Duration::from_seconds(6)));
+  // X=n2 claims n1; I=n1's HELLO lists n2 neither SYM nor ASYM.
+  m.feed(hello_recv(1, NodeId{2}, {NodeId{1}}));
+  const auto matches = m.feed(hello_recv(2, NodeId{1}, {NodeId{3}}));
+  ASSERT_GE(matches.size(), 1u);
+  EXPECT_EQ(matches[0].signature, "link_omission");
+}
+
+TEST(OlsrSignatures, LinkOmissionToleratesAsymTransitional) {
+  SignatureMatcher m;
+  m.add_signature(link_omission_signature(sim::Duration::from_seconds(6)));
+  m.feed(hello_recv(1, NodeId{2}, {NodeId{1}}));
+  // n1 lists n2 as ASYM (link coming up) — not an omission.
+  EXPECT_TRUE(m.feed(hello_recv(2, NodeId{1}, {NodeId{3}}, {NodeId{2}})).empty());
+}
+
+TEST(OlsrSignatures, StormFiresOnBurstFromOneOriginator) {
+  SignatureMatcher m;
+  m.add_signature(storm_signature(5, sim::Duration::from_seconds(5)));
+  std::vector<SignatureMatch> all;
+  for (int i = 0; i < 5; ++i) {
+    auto r = rec(1.0 + i * 0.1, "tc_recv");
+    r.with("orig", "n9");
+    auto got = m.feed(r);
+    all.insert(all.end(), got.begin(), got.end());
+  }
+  ASSERT_GE(all.size(), 1u);
+  EXPECT_EQ(all[0].signature, "broadcast_storm");
+  EXPECT_EQ(all[0].correlated_value, "n9");
+}
+
+TEST(OlsrSignatures, StormIgnoresMixedOriginators) {
+  SignatureMatcher m;
+  m.add_signature(storm_signature(5, sim::Duration::from_seconds(5)));
+  for (int i = 0; i < 8; ++i) {
+    auto r = rec(1.0 + i * 0.1, "tc_recv");
+    r.with("orig", "n" + std::to_string(i));  // all different
+    EXPECT_TRUE(m.feed(r).empty());
+  }
+}
+
+TEST(OlsrSignatures, DropSignatureMatchesSeqPair) {
+  SignatureMatcher m;
+  m.add_signature(drop_signature(sim::Duration::from_seconds(10)));
+  auto sent = rec(1, "tc_sent");
+  sent.with("seq", std::int64_t{42});
+  m.feed(sent);
+  auto timeout = rec(4, "mpr_fwd_timeout");
+  timeout.with("mpr", "n3").with("seq", std::int64_t{42});
+  const auto matches = m.feed(timeout);
+  ASSERT_GE(matches.size(), 1u);
+  EXPECT_EQ(matches[0].signature, "mpr_drop");
+}
+
+TEST(OlsrSignatures, DropSignatureRejectsSeqMismatch) {
+  SignatureMatcher m;
+  m.add_signature(drop_signature(sim::Duration::from_seconds(10)));
+  auto sent = rec(1, "tc_sent");
+  sent.with("seq", std::int64_t{42});
+  m.feed(sent);
+  auto timeout = rec(4, "mpr_fwd_timeout");
+  timeout.with("mpr", "n3").with("seq", std::int64_t{43});
+  EXPECT_TRUE(m.feed(timeout).empty());
+}
+
+TEST(OlsrSignatures, MprReplacementFiresOnAddition) {
+  SignatureMatcher m;
+  m.add_signature(mpr_replacement_signature());
+  auto change = rec(1, "mpr_changed");
+  change.with("mprs", "n1|n2").with("added", "n2").with("removed", "n3");
+  EXPECT_EQ(m.feed(change).size(), 1u);
+  auto pure_removal = rec(2, "mpr_changed");
+  pure_removal.with("mprs", "n1").with("added", "").with("removed", "n2");
+  EXPECT_TRUE(m.feed(pure_removal).empty());
+}
+
+}  // namespace
+}  // namespace manet::core

@@ -1,0 +1,256 @@
+// Unit tests for the statistics substrate: descriptive stats, entropy,
+// normal quantiles, confidence intervals, time series, histogram.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/confidence.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/entropy.hpp"
+#include "stats/histogram.hpp"
+#include "stats/normal.hpp"
+#include "stats/time_series.hpp"
+
+namespace manet::stats {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesBulk) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  std::vector<double> odd{5, 1, 3};
+  std::vector<double> even{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 3.0);
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, Percentiles) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20.0);
+}
+
+TEST(Descriptive, PercentileValidation) {
+  std::vector<double> xs;
+  EXPECT_THROW(percentile(xs, 50), std::invalid_argument);
+  std::vector<double> one{1.0};
+  EXPECT_THROW(percentile(one, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(one, 101), std::invalid_argument);
+}
+
+TEST(Entropy, BinaryEntropyEndpointsAndPeak) {
+  EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(0.5), 1.0);
+  EXPECT_THROW(binary_entropy(-0.1), std::invalid_argument);
+  EXPECT_THROW(binary_entropy(1.1), std::invalid_argument);
+}
+
+TEST(Entropy, BinaryEntropySymmetric) {
+  for (double p : {0.1, 0.25, 0.4}) {
+    EXPECT_NEAR(binary_entropy(p), binary_entropy(1.0 - p), 1e-12);
+  }
+}
+
+TEST(Entropy, ShannonUniform) {
+  std::vector<double> uniform{1, 1, 1, 1};
+  EXPECT_NEAR(shannon_entropy(uniform), 2.0, 1e-12);
+  std::vector<double> certain{1, 0, 0};
+  EXPECT_DOUBLE_EQ(shannon_entropy(certain), 0.0);
+  std::vector<double> bad{0, 0};
+  EXPECT_THROW(shannon_entropy(bad), std::invalid_argument);
+}
+
+TEST(Entropy, TrustMappingShape) {
+  // Sun et al. mapping: T(1)=1, T(0)=-1, T(0.5)=0, increasing in p.
+  EXPECT_DOUBLE_EQ(entropy_trust(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(entropy_trust(0.0), -1.0);
+  EXPECT_DOUBLE_EQ(entropy_trust(0.5), 0.0);
+  double prev = -1.1;
+  for (double p = 0.0; p <= 1.0001; p += 0.05) {
+    const double t = entropy_trust(std::min(p, 1.0));
+    EXPECT_GE(t, prev - 1e-12);
+    prev = t;
+  }
+}
+
+TEST(Entropy, TrustInverseRoundTrip) {
+  for (double p : {0.05, 0.3, 0.5, 0.7, 0.95}) {
+    EXPECT_NEAR(entropy_trust_inverse(entropy_trust(p)), p, 1e-9);
+  }
+  EXPECT_THROW(entropy_trust_inverse(1.5), std::invalid_argument);
+}
+
+TEST(Normal, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(Normal, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.01), -2.326348, 1e-5);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  for (double p = 0.001; p < 1.0; p += 0.037) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-8) << "p=" << p;
+  }
+}
+
+TEST(Normal, QuantileValidation) {
+  EXPECT_THROW(normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(Normal, ZForConfidence) {
+  EXPECT_NEAR(z_for_confidence(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.575829, 1e-5);
+  EXPECT_NEAR(z_for_confidence(0.90), 1.644854, 1e-5);
+}
+
+TEST(Confidence, MarginFollowsEquation9) {
+  // eps = z * sigma / sqrt(n), the paper's Eq. 9.
+  std::vector<double> samples{-1, -1, -1, 1, -1, -1, 1, -1, -1, -1};
+  const auto ci = confidence_interval(samples, 0.95);
+  const double sigma = sample_stddev(samples);
+  EXPECT_NEAR(ci.margin, 1.959964 * sigma / std::sqrt(10.0), 1e-6);
+  EXPECT_NEAR(ci.mean, -0.6, 1e-12);
+  EXPECT_TRUE(ci.contains(-0.6));
+  EXPECT_FALSE(ci.contains(0.5));
+}
+
+TEST(Confidence, HigherLevelWiderInterval) {
+  std::vector<double> samples{-1, 1, -1, 1, -1, -1, -1, 1};
+  const auto lo = confidence_interval(samples, 0.90);
+  const auto hi = confidence_interval(samples, 0.99);
+  EXPECT_LT(lo.margin, hi.margin);
+}
+
+TEST(Confidence, MoreSamplesNarrowerInterval) {
+  std::vector<double> small, large;
+  for (int i = 0; i < 8; ++i) small.push_back(i % 2 ? 1.0 : -1.0);
+  for (int i = 0; i < 128; ++i) large.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_GT(confidence_interval(small, 0.95).margin,
+            confidence_interval(large, 0.95).margin);
+}
+
+TEST(Confidence, TooFewSamplesMaxMargin) {
+  std::vector<double> one{0.5};
+  const auto ci = confidence_interval(one, 0.95, 2.0);
+  EXPECT_DOUBLE_EQ(ci.margin, 2.0);
+}
+
+TEST(TimeSeries, RecordsAndReadsBack) {
+  TimeSeries ts;
+  ts.add("a", 1, 10);
+  ts.add("a", 2, 20);
+  ts.add("b", 1, -5);
+  EXPECT_TRUE(ts.has("a"));
+  EXPECT_FALSE(ts.has("c"));
+  EXPECT_DOUBLE_EQ(ts.last("a"), 20);
+  EXPECT_DOUBLE_EQ(ts.at_or_after("a", 2), 20);
+  EXPECT_EQ(ts.series_names(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_THROW(ts.samples("zzz"), std::out_of_range);
+}
+
+TEST(TimeSeries, TableContainsAllSeries) {
+  TimeSeries ts;
+  ts.add("alpha", 1, 0.5);
+  ts.add("beta", 2, 0.25);
+  const auto table = ts.to_table("round");
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find("0.5000"), std::string::npos);
+  // beta has no sample at x=1 -> a "-" placeholder exists.
+  EXPECT_NE(table.find('-'), std::string::npos);
+}
+
+TEST(TimeSeries, CsvRoundTripShape) {
+  TimeSeries ts;
+  ts.add("s", 0, 1.5);
+  ts.add("s", 1, 2.5);
+  const auto csv = ts.to_csv("x");
+  EXPECT_EQ(csv, "x,s\n0,1.5\n1,2.5\n");
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lower(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_upper(2), 6.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderShowsCounts) {
+  Histogram h{0.0, 2.0, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('2'), std::string::npos);
+}
+
+// Property: the entropy-trust of complementary probabilities is
+// antisymmetric: T(p) = -T(1-p).
+class EntropyAntisymmetry : public ::testing::TestWithParam<double> {};
+
+TEST_P(EntropyAntisymmetry, Holds) {
+  const double p = GetParam();
+  EXPECT_NEAR(entropy_trust(p), -entropy_trust(1.0 - p), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, EntropyAntisymmetry,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                           0.8, 0.9, 1.0));
+
+}  // namespace
+}  // namespace manet::stats
