@@ -2,13 +2,27 @@
 // printing the investigator's view — Eq. 8 aggregate, Eq. 9 margin, Eq. 10
 // verdict and the trust table — so you can watch liars lose influence.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 #include "scenario/trust_experiment.hpp"
 
 using namespace manet;
 
-int main() {
+int main(int argc, char** argv) {
+  // argv[1] scales the number of rounds (CTest smoke runs pass 0.2).
+  double scale = 1.0;
+  if (argc > 1) {
+    char* rest = nullptr;
+    scale = std::strtod(argv[1], &rest);
+    if (rest == nullptr || *rest != '\0' || !(scale > 0.0)) {
+      std::fprintf(stderr, "usage: %s [time-scale > 0]\n", argv[0]);
+      return 2;
+    }
+  }
+  const int attack_rounds = std::max(1, static_cast<int>(12 * scale));
+  const int idle_rounds = std::max(1, static_cast<int>(10 * scale));
   scenario::TrustExperiment::Config cfg;
   cfg.seed = 17;
   cfg.num_nodes = 16;
@@ -23,7 +37,7 @@ int main() {
   for (auto l : exp.liars()) std::printf("%s ", l.to_string().c_str());
   std::printf("\n\n");
 
-  for (int round = 1; round <= 12; ++round) {
+  for (int round = 1; round <= attack_rounds; ++round) {
     const auto snap = exp.run_round();
     double liar_avg = 0.0, honest_avg = 0.0;
     for (auto l : exp.liars()) liar_avg += snap.trust.at(l);
@@ -39,7 +53,7 @@ int main() {
 
   std::printf("\nattack ceases; forgetting factor takes over:\n");
   exp.cease_attack();
-  for (int round = 1; round <= 10; ++round) {
+  for (int round = 1; round <= idle_rounds; ++round) {
     const auto snap = exp.run_idle_round();
     double liar_avg = 0.0;
     for (auto l : exp.liars()) liar_avg += snap.trust.at(l);

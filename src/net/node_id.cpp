@@ -7,7 +7,11 @@ namespace manet::net {
 
 std::string NodeId::to_string() const {
   if (!valid()) return "n?";
-  return "n" + std::to_string(value_);
+  // Built with += rather than operator+ to dodge GCC 12's -Wrestrict false
+  // positive (PR105651) on the char* + string&& overload under -O2.
+  std::string out = "n";
+  out += std::to_string(value_);
+  return out;
 }
 
 NodeId NodeId::parse(const std::string& text) {

@@ -288,9 +288,11 @@ void Agent::handle_packet(const net::Packet& packet) {
   }
 }
 
-void Agent::process_hello(const Message& m, NodeId transmitter) {
+void Agent::process_hello(const Message& m, NodeId /*transmitter*/) {
   const auto* hello = m.as_hello();
   if (!hello) return;
+  // HELLOs are link-local (never forwarded), so the originator IS the
+  // transmitter; link sensing keys off the originator address.
   const NodeId from = m.header.originator;
   ++stats_.hello_recv;
 

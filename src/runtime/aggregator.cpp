@@ -1,0 +1,204 @@
+#include "runtime/aggregator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "stats/descriptive.hpp"
+
+namespace manet::runtime {
+namespace {
+
+std::string fmt(double x) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f", x);
+  return buf;
+}
+
+void append_point_columns(std::string& out, const GridPoint& point) {
+  out += std::to_string(point.num_nodes);
+  out += ',';
+  out += fmt(point.attacker_fraction);
+  out += ',';
+  out += std::to_string(point.num_liars());
+  out += ',';
+  out += to_string(point.mobility);
+}
+
+void append_ci(std::string& out, const stats::ConfidenceInterval& ci) {
+  out += fmt(ci.mean);
+  out += ',';
+  out += fmt(ci.margin);
+}
+
+// stats::confidence_interval's default max_margin=2.0 is an Eq. 9 sentinel
+// sized for Detect's [-1, 1] domain; aggregate metrics live in arbitrary
+// units (messages, rounds, trust), so under-sampled groups report margin 0
+// instead — the replications/convicted columns tell the reader how thin the
+// sample is.
+stats::ConfidenceInterval interval_or_zero(const stats::RunningStats& stats,
+                                           double level) {
+  return stats::confidence_interval(stats, level, /*max_margin=*/0.0);
+}
+
+}  // namespace
+
+std::vector<AggregateRow> Aggregator::aggregate(
+    std::span<const ReplicationResult> results) const {
+  struct Accum {
+    GridPoint point;
+    stats::RunningStats detect, attacker, liar, honest, overhead, round;
+    std::size_t total = 0, convicted = 0, with_liars = 0;
+  };
+  std::map<std::size_t, Accum> groups;
+
+  for (const auto& r : results) {
+    auto& g = groups[r.point_index];
+    g.point = r.point;
+    ++g.total;
+    g.detect.add(r.final_detect);
+    g.attacker.add(r.attacker_trust);
+    g.honest.add(r.mean_honest_trust);
+    g.overhead.add(static_cast<double>(r.control_messages));
+    if (r.point.num_liars() > 0) {
+      g.liar.add(r.mean_liar_trust);
+      ++g.with_liars;
+    }
+    if (r.conviction_round >= 0) {
+      ++g.convicted;
+      g.round.add(static_cast<double>(r.conviction_round));
+    }
+  }
+
+  std::vector<AggregateRow> rows;
+  rows.reserve(groups.size());
+  for (const auto& [point_index, g] : groups) {
+    AggregateRow row;
+    row.point_index = point_index;
+    row.point = g.point;
+    row.replications = g.total;
+    row.detection_rate =
+        g.total ? static_cast<double>(g.convicted) / static_cast<double>(g.total)
+                : 0.0;
+    row.convicted = g.convicted;
+    row.final_detect = interval_or_zero(g.detect, level_);
+    row.attacker_trust = interval_or_zero(g.attacker, level_);
+    row.honest_trust = interval_or_zero(g.honest, level_);
+    row.control_messages = interval_or_zero(g.overhead, level_);
+    if (g.with_liars > 0)
+      row.liar_trust = interval_or_zero(g.liar, level_);
+    if (g.convicted > 0) {
+      row.conviction_round = interval_or_zero(g.round, level_);
+    } else {
+      row.conviction_round.mean = -1.0;
+      row.conviction_round.margin = 0.0;
+    }
+    row.conviction_round.level = level_;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::vector<RoundRow> Aggregator::per_round(
+    std::span<const ReplicationResult> results) const {
+  struct Accum {
+    GridPoint point;
+    std::vector<stats::RunningStats> rounds;
+  };
+  std::map<std::size_t, Accum> groups;
+  for (const auto& r : results) {
+    auto& g = groups[r.point_index];
+    g.point = r.point;
+    if (g.rounds.size() < r.detect_per_round.size())
+      g.rounds.resize(r.detect_per_round.size());
+    for (std::size_t i = 0; i < r.detect_per_round.size(); ++i)
+      g.rounds[i].add(r.detect_per_round[i]);
+  }
+
+  std::vector<RoundRow> rows;
+  for (const auto& [point_index, g] : groups) {
+    for (std::size_t i = 0; i < g.rounds.size(); ++i) {
+      RoundRow row;
+      row.point_index = point_index;
+      row.point = g.point;
+      row.round = static_cast<int>(i) + 1;
+      row.detect = interval_or_zero(g.rounds[i], level_);
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
+std::string Aggregator::to_csv(std::span<const AggregateRow> rows) {
+  std::string out =
+      "nodes,liar_fraction,liars,mobility,replications,detection_rate,"
+      "convicted,detect_mean,detect_margin,conviction_round_mean,"
+      "conviction_round_margin,attacker_trust_mean,attacker_trust_margin,"
+      "liar_trust_mean,liar_trust_margin,honest_trust_mean,"
+      "honest_trust_margin,control_msgs_mean,control_msgs_margin\n";
+  for (const auto& row : rows) {
+    append_point_columns(out, row.point);
+    out += ',';
+    out += std::to_string(row.replications);
+    out += ',';
+    out += fmt(row.detection_rate);
+    out += ',';
+    out += std::to_string(row.convicted);
+    out += ',';
+    append_ci(out, row.final_detect);
+    out += ',';
+    append_ci(out, row.conviction_round);
+    out += ',';
+    append_ci(out, row.attacker_trust);
+    out += ',';
+    append_ci(out, row.liar_trust);
+    out += ',';
+    append_ci(out, row.honest_trust);
+    out += ',';
+    append_ci(out, row.control_messages);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Aggregator::to_json(std::span<const AggregateRow> rows) {
+  auto ci_json = [](const stats::ConfidenceInterval& ci) {
+    return "{\"mean\":" + fmt(ci.mean) + ",\"margin\":" + fmt(ci.margin) + "}";
+  };
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    out += "  {\"nodes\":" + std::to_string(row.point.num_nodes) +
+           ",\"liar_fraction\":" + fmt(row.point.attacker_fraction) +
+           ",\"liars\":" + std::to_string(row.point.num_liars()) +
+           ",\"mobility\":\"" + to_string(row.point.mobility) + "\"" +
+           ",\"replications\":" + std::to_string(row.replications) +
+           ",\"detection_rate\":" + fmt(row.detection_rate) +
+           ",\"convicted\":" + std::to_string(row.convicted) +
+           ",\"detect\":" + ci_json(row.final_detect) +
+           ",\"conviction_round\":" + ci_json(row.conviction_round) +
+           ",\"attacker_trust\":" + ci_json(row.attacker_trust) +
+           ",\"liar_trust\":" + ci_json(row.liar_trust) +
+           ",\"honest_trust\":" + ci_json(row.honest_trust) +
+           ",\"control_msgs\":" + ci_json(row.control_messages) + "}";
+    out += (i + 1 < rows.size()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string Aggregator::per_round_csv(std::span<const RoundRow> rows) {
+  std::string out =
+      "nodes,liar_fraction,liars,mobility,round,detect_mean,detect_margin\n";
+  for (const auto& row : rows) {
+    append_point_columns(out, row.point);
+    out += ',';
+    out += std::to_string(row.round);
+    out += ',';
+    append_ci(out, row.detect);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace manet::runtime

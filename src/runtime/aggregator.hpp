@@ -1,0 +1,62 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "runtime/experiment_spec.hpp"
+#include "stats/confidence.hpp"
+
+namespace manet::runtime {
+
+/// Per-grid-point summary: every metric as mean ± Eq. 9 confidence margin
+/// over the point's replications.
+struct AggregateRow {
+  std::size_t point_index = 0;
+  GridPoint point;
+  std::size_t replications = 0;
+
+  double detection_rate = 0.0;  ///< fraction of replications convicting
+  stats::ConfidenceInterval final_detect;
+  /// Over convicted replications only; mean is -1 when none convicted.
+  stats::ConfidenceInterval conviction_round;
+  std::size_t convicted = 0;
+  stats::ConfidenceInterval attacker_trust;
+  stats::ConfidenceInterval liar_trust;
+  stats::ConfidenceInterval honest_trust;
+  stats::ConfidenceInterval control_messages;
+};
+
+/// One (grid point, round) cell of the Fig. 3 style trajectory.
+struct RoundRow {
+  std::size_t point_index = 0;
+  GridPoint point;
+  int round = 0;
+  stats::ConfidenceInterval detect;
+};
+
+/// Folds per-replication results into per-point statistics with the
+/// existing stats/ layer. Input order does not matter beyond tie-breaking:
+/// rows come out sorted by point_index, so any thread interleaving of the
+/// Runner produces byte-identical CSV/JSON.
+class Aggregator {
+ public:
+  explicit Aggregator(double confidence_level = 0.95)
+      : level_{confidence_level} {}
+
+  std::vector<AggregateRow> aggregate(
+      std::span<const ReplicationResult> results) const;
+
+  /// Round-by-round Eq. 8 trajectory per grid point (Fig. 3).
+  std::vector<RoundRow> per_round(
+      std::span<const ReplicationResult> results) const;
+
+  static std::string to_csv(std::span<const AggregateRow> rows);
+  static std::string to_json(std::span<const AggregateRow> rows);
+  static std::string per_round_csv(std::span<const RoundRow> rows);
+
+ private:
+  double level_;
+};
+
+}  // namespace manet::runtime

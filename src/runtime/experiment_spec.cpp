@@ -1,0 +1,165 @@
+#include "runtime/experiment_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace manet::runtime {
+
+std::string to_string(MobilityPreset preset) {
+  switch (preset) {
+    case MobilityPreset::kStatic:
+      return "static";
+    case MobilityPreset::kLowChurn:
+      return "low";
+    case MobilityPreset::kHighChurn:
+      return "high";
+  }
+  return "?";
+}
+
+bool parse_mobility_preset(const std::string& text, MobilityPreset& out) {
+  if (text == "static" || text == "kStatic") {
+    out = MobilityPreset::kStatic;
+  } else if (text == "low" || text == "kLowChurn") {
+    out = MobilityPreset::kLowChurn;
+  } else if (text == "high" || text == "kHighChurn") {
+    out = MobilityPreset::kHighChurn;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double preset_loss_probability(MobilityPreset preset) {
+  switch (preset) {
+    case MobilityPreset::kStatic:
+      return 0.0;
+    case MobilityPreset::kLowChurn:
+      return 0.05;
+    case MobilityPreset::kHighChurn:
+      return 0.15;
+  }
+  return 0.0;
+}
+
+std::size_t GridPoint::num_liars() const {
+  if (num_nodes < 2) return 0;
+  const auto bystanders = num_nodes - 2;  // minus attacker and investigator
+  const double want = attacker_fraction * static_cast<double>(bystanders);
+  const auto rounded = static_cast<std::size_t>(std::lround(std::max(want, 0.0)));
+  return std::min(rounded, bystanders);
+}
+
+scenario::TrustExperiment::Config ReplicationTask::to_config() const {
+  scenario::TrustExperiment::Config cfg;
+  cfg.num_nodes = point.num_nodes;
+  cfg.num_liars = point.num_liars();
+  cfg.seed = seed;
+  cfg.rounds = rounds;
+  cfg.radio_loss = preset_loss_probability(point.mobility);
+  return cfg;
+}
+
+std::vector<GridPoint> ExperimentSpec::grid() const {
+  std::vector<GridPoint> points;
+  points.reserve(node_counts.size() * attacker_fractions.size() *
+                 mobility_presets.size());
+  for (auto nodes : node_counts)
+    for (auto fraction : attacker_fractions)
+      for (auto preset : mobility_presets)
+        points.push_back(GridPoint{nodes, fraction, preset});
+  return points;
+}
+
+std::vector<ReplicationTask> ExperimentSpec::expand() const {
+  const auto points = grid();
+  std::vector<ReplicationTask> tasks;
+  tasks.reserve(points.size() * seeds.size());
+  std::size_t index = 0;
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    for (auto seed : seeds) {
+      ReplicationTask task;
+      task.index = index++;
+      task.point_index = p;
+      task.point = points[p];
+      task.seed = seed;
+      task.rounds = rounds;
+      tasks.push_back(task);
+    }
+  }
+  return tasks;
+}
+
+std::vector<std::uint64_t> ExperimentSpec::seed_range(std::uint64_t base,
+                                                      std::size_t count) {
+  // SplitMix64: the classic stream used to seed xoshiro generators; distinct
+  // outputs for distinct counters, so replications never share a stream.
+  std::vector<std::uint64_t> out;
+  out.reserve(count);
+  std::uint64_t state = base;
+  for (std::size_t i = 0; i < count; ++i) {
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z = z ^ (z >> 31);
+    out.push_back(z == 0 ? 1 : z);  // Rng treats seeds verbatim; avoid 0
+  }
+  return out;
+}
+
+ReplicationResult run_replication(const ReplicationTask& task,
+                                  const trust::TrustParams& trust_params,
+                                  const trust::DecisionConfig& decision) {
+  // Zero rounds would yield an all-default result indistinguishable from a
+  // legitimate "no conviction" run; fail loudly like TrustExperiment does
+  // for an unconstructible topology.
+  if (task.rounds <= 0)
+    throw std::invalid_argument{"replication needs at least one round"};
+  auto cfg = task.to_config();
+  cfg.trust_params = trust_params;
+  cfg.decision = decision;
+
+  scenario::TrustExperiment exp{cfg};
+  exp.setup();
+
+  ReplicationResult result;
+  result.task_index = task.index;
+  result.point_index = task.point_index;
+  result.point = task.point;
+  result.seed = task.seed;
+  result.detect_per_round.reserve(static_cast<std::size_t>(task.rounds));
+
+  scenario::TrustExperiment::RoundSnapshot last;
+  for (int r = 0; r < task.rounds; ++r) {
+    last = exp.run_round();
+    result.detect_per_round.push_back(last.detect);
+    if (result.conviction_round < 0 &&
+        last.verdict == trust::Verdict::kIntruder) {
+      result.conviction_round = last.round;
+    }
+  }
+
+  result.final_verdict = last.verdict;
+  result.final_detect = last.detect;
+  result.final_margin = last.margin;
+  result.attacker_trust = last.trust[exp.attacker()];
+
+  stats::RunningStats liar_trust, honest_trust;
+  for (auto id : exp.liars()) liar_trust.add(last.trust[id]);
+  for (auto id : exp.honest()) honest_trust.add(last.trust[id]);
+  result.mean_liar_trust = liar_trust.count() ? liar_trust.mean() : 0.0;
+  result.mean_honest_trust = honest_trust.count() ? honest_trust.mean() : 0.0;
+
+  auto& net = exp.network();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& s = net.agent(i).stats();
+    result.control_messages += s.hello_sent + s.tc_sent + s.msgs_forwarded;
+  }
+  return result;
+}
+
+}  // namespace manet::runtime

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/trust_experiment.hpp"
+#include "trust/detection.hpp"
+
+namespace manet::runtime {
+
+/// Link-churn presets for scenario sweeps. The §V experiment keeps every
+/// node inside radio range, so mobility manifests to the investigator as
+/// verifiers intermittently failing to hear or answer — modeled here as
+/// radio loss probability on the shared medium (the same knob Table C's
+/// random-waypoint runs end up exercising through link breakage).
+enum class MobilityPreset {
+  kStatic,    ///< loss 0 — the paper's baseline cluster
+  kLowChurn,  ///< loss 5% — pedestrian-speed waypoint churn
+  kHighChurn, ///< loss 15% — vehicular churn, frequent answer timeouts
+};
+
+std::string to_string(MobilityPreset preset);
+/// Parses "static" / "low" / "high" (also accepts the full enum spellings).
+bool parse_mobility_preset(const std::string& text, MobilityPreset& out);
+double preset_loss_probability(MobilityPreset preset);
+
+/// One cell of the sweep grid: everything that varies between scenario
+/// configurations except the replication seed.
+struct GridPoint {
+  std::size_t num_nodes = 16;
+  /// Fraction of the n-2 bystanders that collude with the attacker.
+  double attacker_fraction = 0.0;
+  MobilityPreset mobility = MobilityPreset::kStatic;
+
+  /// Liar head-count this fraction means at this node count (rounded to
+  /// nearest, clamped so the experiment stays constructible).
+  std::size_t num_liars() const;
+};
+
+/// One unit of work for the Runner: a grid point bound to a concrete seed.
+struct ReplicationTask {
+  std::size_t index = 0;        ///< position in the expanded grid (stable)
+  std::size_t point_index = 0;  ///< which GridPoint this replication belongs to
+  GridPoint point;
+  std::uint64_t seed = 1;
+  int rounds = 12;
+
+  /// The scenario config this task denotes, ready for TrustExperiment.
+  scenario::TrustExperiment::Config to_config() const;
+};
+
+/// Everything a replication run yields; the Aggregator folds these per
+/// grid point. All fields are deterministic functions of the task.
+struct ReplicationResult {
+  std::size_t task_index = 0;
+  std::size_t point_index = 0;
+  GridPoint point;
+  std::uint64_t seed = 0;
+
+  trust::Verdict final_verdict = trust::Verdict::kUnrecognized;
+  double final_detect = 0.0;        ///< Eq. 8 of the last round
+  double final_margin = 0.0;        ///< Eq. 9 epsilon of the last round
+  int conviction_round = -1;        ///< first round with an intruder verdict; -1 = never
+  double attacker_trust = 0.0;      ///< investigator's trust in the attacker, final
+  double mean_liar_trust = 0.0;     ///< 0 when the point has no liars
+  double mean_honest_trust = 0.0;
+  std::vector<double> detect_per_round;  ///< Eq. 8 trajectory (Fig. 3)
+  std::uint64_t control_messages = 0;    ///< HELLO+TC sent network-wide (overhead)
+};
+
+/// Declarative description of a full sweep: the cartesian grid
+/// seeds x node_counts x attacker_fractions x mobility_presets.
+struct ExperimentSpec {
+  std::vector<std::uint64_t> seeds{1};
+  std::vector<std::size_t> node_counts{16};
+  std::vector<double> attacker_fractions{0.25};
+  std::vector<MobilityPreset> mobility_presets{MobilityPreset::kStatic};
+  int rounds = 12;
+  trust::TrustParams trust_params;
+  trust::DecisionConfig decision;
+
+  /// Grid points in declaration order (node count, fraction, preset).
+  std::vector<GridPoint> grid() const;
+
+  /// The full task list: every grid point under every seed, with stable
+  /// indices so a parallel run reassembles into a deterministic order.
+  std::vector<ReplicationTask> expand() const;
+
+  std::size_t replication_count() const {
+    return seeds.size() * grid().size();
+  }
+
+  /// `count` well-spread deterministic seeds derived from `base`
+  /// (SplitMix64), for "--seeds N" style invocations.
+  static std::vector<std::uint64_t> seed_range(std::uint64_t base,
+                                               std::size_t count);
+};
+
+/// Runs one replication synchronously: builds the TrustExperiment, drives
+/// `rounds` investigation rounds, extracts the metrics. Deterministic given
+/// the task. Thread-safe: each call owns its entire simulator stack.
+ReplicationResult run_replication(const ReplicationTask& task,
+                                  const trust::TrustParams& trust_params = {},
+                                  const trust::DecisionConfig& decision = {});
+
+}  // namespace manet::runtime

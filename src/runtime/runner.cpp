@@ -1,0 +1,135 @@
+#include "runtime/runner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+namespace manet::runtime {
+namespace {
+
+/// Per-worker task deque. The owner pops from the front; thieves take from
+/// the back, so a victim keeps the cache-warm head of its own run while
+/// surrendering the work it is furthest from reaching.
+class WorkDeque {
+ public:
+  void push_back(std::size_t task) {
+    std::lock_guard lock{mutex_};
+    tasks_.push_back(task);
+  }
+
+  std::optional<std::size_t> pop_front() {
+    std::lock_guard lock{mutex_};
+    if (tasks_.empty()) return std::nullopt;
+    auto t = tasks_.front();
+    tasks_.pop_front();
+    return t;
+  }
+
+  std::optional<std::size_t> steal_back() {
+    std::lock_guard lock{mutex_};
+    if (tasks_.empty()) return std::nullopt;
+    auto t = tasks_.back();
+    tasks_.pop_back();
+    return t;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock{mutex_};
+    return tasks_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<std::size_t> tasks_;
+};
+
+}  // namespace
+
+unsigned Runner::effective_threads(std::size_t task_count) const {
+  unsigned threads = config_.threads;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (task_count < threads) threads = static_cast<unsigned>(task_count);
+  return std::max(threads, 1u);
+}
+
+std::vector<ReplicationResult> Runner::run(const ExperimentSpec& spec) {
+  return run(spec.expand(), spec.trust_params, spec.decision);
+}
+
+std::vector<ReplicationResult> Runner::run(
+    const std::vector<ReplicationTask>& tasks,
+    const trust::TrustParams& trust_params,
+    const trust::DecisionConfig& decision) {
+  std::vector<ReplicationResult> results(tasks.size());
+  if (tasks.empty()) return results;
+
+  const unsigned threads = effective_threads(tasks.size());
+  if (threads == 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      results[i] = run_replication(tasks[i], trust_params, decision);
+      if (progress_) progress_(i + 1, tasks.size());
+    }
+    return results;
+  }
+
+  // Round-robin initial shards; stealing rebalances from there.
+  std::vector<WorkDeque> deques(threads);
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    deques[i % threads].push_back(i);
+
+  std::mutex progress_mutex;
+  std::size_t done = 0;
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto worker = [&](unsigned self) {
+    for (;;) {
+      {
+        std::lock_guard lock{error_mutex};
+        if (first_error) return;  // some replication failed: drain and stop
+      }
+      auto task_index = deques[self].pop_front();
+      if (!task_index) {
+        // Steal from the victim with the most queued work.
+        std::size_t best = 0, best_size = 0;
+        for (unsigned v = 0; v < threads; ++v) {
+          if (v == self) continue;
+          const auto size = deques[v].size();
+          if (size > best_size) {
+            best_size = size;
+            best = v;
+          }
+        }
+        if (best_size == 0) return;  // everything is taken: we are done
+        task_index = deques[best].steal_back();
+        if (!task_index) continue;  // lost the race; look again
+      }
+      try {
+        results[*task_index] =
+            run_replication(tasks[*task_index], trust_params, decision);
+      } catch (...) {
+        std::lock_guard lock{error_mutex};
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+      if (progress_) {
+        std::lock_guard lock{progress_mutex};
+        progress_(++done, tasks.size());
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace manet::runtime

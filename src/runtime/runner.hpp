@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "runtime/experiment_spec.hpp"
+
+namespace manet::runtime {
+
+/// Parallel replication executor. One `sim::Simulator` stack is strictly
+/// single-threaded, so the natural scaling axis is replication-level
+/// parallelism: every ReplicationTask owns a private simulator and RNG
+/// stream, and the Runner shards the task list across worker threads with
+/// work stealing (each worker drains its own deque front-to-back and steals
+/// from the back of the fullest victim when it runs dry — long replications
+/// at high node counts no longer serialize behind a static partition).
+///
+/// Results land in slots keyed by task index, so the output order — and
+/// therefore every downstream aggregate — is identical for any thread count.
+class Runner {
+ public:
+  struct Config {
+    /// 0 = std::thread::hardware_concurrency().
+    unsigned threads = 0;
+  };
+
+  /// Called after each finished replication with (done, total). May be
+  /// invoked from worker threads, but never concurrently.
+  using ProgressFn = std::function<void(std::size_t, std::size_t)>;
+
+  Runner() = default;
+  explicit Runner(Config config) : config_{config} {}
+
+  void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
+
+  /// Expands the spec and runs every replication. Rethrows the first
+  /// exception any worker hit (after all workers have stopped).
+  std::vector<ReplicationResult> run(const ExperimentSpec& spec);
+
+  /// Same over an explicit task list (results ordered by position in
+  /// `tasks`, regardless of which thread ran what).
+  std::vector<ReplicationResult> run(const std::vector<ReplicationTask>& tasks,
+                                     const trust::TrustParams& trust_params = {},
+                                     const trust::DecisionConfig& decision = {});
+
+  /// Threads a run with this config will actually use for `task_count` tasks.
+  unsigned effective_threads(std::size_t task_count) const;
+
+ private:
+  Config config_{};
+  ProgressFn progress_;
+};
+
+}  // namespace manet::runtime

@@ -157,9 +157,11 @@ TEST_P(MprProperty, CoverageInvariants) {
   EXPECT_TRUE(covers_all_two_hops(in, pruned));
   EXPECT_LE(pruned.size(), mprs.size());
   // WILL_ALWAYS members survive pruning.
-  for (const auto& [id, w] : in.neighbors)
-    if (w == Willingness::kAlways && mprs.contains(id))
+  for (const auto& [id, w] : in.neighbors) {
+    if (w == Willingness::kAlways && mprs.contains(id)) {
       EXPECT_TRUE(pruned.contains(id));
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MprProperty,

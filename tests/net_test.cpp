@@ -302,7 +302,9 @@ class GridConnectivity : public ::testing::TestWithParam<std::size_t> {};
 TEST_P(GridConnectivity, SpacingWithinRangeConnects) {
   const auto g = grid_layout(GetParam(), 100.0);
   EXPECT_TRUE(is_connected(g, 100.0));
-  if (GetParam() > 1) EXPECT_FALSE(is_connected(g, 50.0));
+  if (GetParam() > 1) {
+    EXPECT_FALSE(is_connected(g, 50.0));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, GridConnectivity,

@@ -288,10 +288,12 @@ TEST_P(DecisionSymmetry, FlippingEvidenceFlipsVerdict) {
   const auto dn = decide(neg, cfg());
   const auto dp = decide(pos, cfg());
   EXPECT_NEAR(dn.detect, -dp.detect, 1e-12);
-  if (dn.verdict == Verdict::kIntruder)
+  if (dn.verdict == Verdict::kIntruder) {
     EXPECT_EQ(dp.verdict, Verdict::kWellBehaving);
-  if (dn.verdict == Verdict::kWellBehaving)
+  }
+  if (dn.verdict == Verdict::kWellBehaving) {
     EXPECT_EQ(dp.verdict, Verdict::kIntruder);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DecisionSymmetry, ::testing::Range(1, 15));

@@ -1,0 +1,263 @@
+// manet_experiments — parallel scenario sweeps over the §V trust experiment.
+//
+// Reproduces the paper-style evaluations in one invocation: a Table A style
+// accuracy sweep over liar ratios (--sweep table-a) or a Fig. 3 style
+// round-by-round detection trajectory (--sweep fig3), or any custom grid of
+// seeds x node counts x liar fractions x mobility presets. Replications run
+// in parallel across --threads workers; aggregate output is byte-identical
+// for every thread count.
+//
+//   manet_experiments --sweep table-a --seeds 32 --threads 4
+//   manet_experiments --nodes 16,24 --liar-fractions 0,0.25 --seeds 8
+//       --format json --out sweep.json
+//   manet_experiments --sweep fig3 --per-round --out fig3.csv
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runtime/aggregator.hpp"
+#include "runtime/runner.hpp"
+
+using namespace manet;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr, R"(usage: manet_experiments [options]
+
+grid options
+  --seeds N             replications per grid point (default 8)
+  --seed-base B         base for the SplitMix64 seed stream (default 42)
+  --nodes LIST          comma-separated node counts (default 16)
+  --liar-fractions LIST comma-separated bystander liar fractions (default 0,0.25)
+  --mobility LIST       comma-separated presets: static,low,high (default static)
+  --rounds N            investigation rounds per replication (default 12)
+
+presets (override the grid)
+  --sweep table-a       liar-ratio accuracy sweep (fractions 0,0.15,0.3,0.45)
+  --sweep fig3          Fig. 3 liar trajectory (fractions 0.07,0.29,0.43, 25 rounds)
+
+execution / output
+  --threads N           worker threads, 0 = hardware concurrency (default 0)
+  --confidence L        CI level for the aggregates (default 0.95)
+  --format csv|json     aggregate output format (default csv)
+  --per-round           emit the per-round Eq. 8 trajectory CSV instead
+  --out FILE            write output to FILE instead of stdout
+  --quiet               suppress progress on stderr
+  --help                this text
+)");
+}
+
+std::vector<std::string> split_commas(const std::string& text) {
+  std::vector<std::string> items;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    items.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return items;
+}
+
+// Strict scalar parses: the whole string must be consumed and the value must
+// be a plain non-negative decimal, so typos like "--threads 4x" and
+// wrap-arounds like "--seeds -1" error out instead of silently running.
+bool parse_u64(const std::string& item, std::uint64_t& out) {
+  if (item.empty() || !std::isdigit(static_cast<unsigned char>(item[0])))
+    return false;
+  errno = 0;
+  char* rest = nullptr;
+  out = std::strtoull(item.c_str(), &rest, 10);
+  return rest != nullptr && *rest == '\0' && errno == 0;
+}
+
+bool parse_f64(const std::string& item, double& out) {
+  if (item.empty()) return false;
+  char* rest = nullptr;
+  out = std::strtod(item.c_str(), &rest);
+  return rest != nullptr && *rest == '\0';
+}
+
+bool parse_size_list(const std::string& text, std::vector<std::size_t>& out) {
+  out.clear();
+  for (const auto& item : split_commas(text)) {
+    std::uint64_t value = 0;
+    if (!parse_u64(item, value) || value < 4 || value > 4096) return false;
+    out.push_back(static_cast<std::size_t>(value));
+  }
+  return !out.empty();
+}
+
+bool parse_double_list(const std::string& text, std::vector<double>& out) {
+  out.clear();
+  for (const auto& item : split_commas(text)) {
+    double value = 0.0;
+    // The negated >= form also rejects NaN.
+    if (!parse_f64(item, value) || !(value >= 0.0 && value <= 1.0))
+      return false;
+    out.push_back(value);
+  }
+  return !out.empty();
+}
+
+bool parse_preset_list(const std::string& text,
+                       std::vector<runtime::MobilityPreset>& out) {
+  out.clear();
+  for (const auto& item : split_commas(text)) {
+    runtime::MobilityPreset preset;
+    if (!runtime::parse_mobility_preset(item, preset)) return false;
+    out.push_back(preset);
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runtime::ExperimentSpec spec;
+  spec.attacker_fractions = {0.0, 0.25};
+  std::size_t num_seeds = 8;
+  std::uint64_t seed_base = 42;
+  unsigned threads = 0;
+  double confidence = 0.95;
+  std::string format = "csv";
+  std::string out_path;
+  bool per_round = false;
+  bool quiet = false;
+
+  auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: %s needs a value\n", argv[i]);
+      std::exit(2);
+    }
+    return argv[i + 1];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    bool ok = true;
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg == "--seeds") {
+      std::uint64_t value = 0;
+      ok = parse_u64(need_value(i++), value) && value > 0 && value <= 1000000;
+      num_seeds = static_cast<std::size_t>(value);
+    } else if (arg == "--seed-base") {
+      ok = parse_u64(need_value(i++), seed_base);
+    } else if (arg == "--nodes") {
+      ok = parse_size_list(need_value(i++), spec.node_counts);
+    } else if (arg == "--liar-fractions") {
+      ok = parse_double_list(need_value(i++), spec.attacker_fractions);
+    } else if (arg == "--mobility") {
+      ok = parse_preset_list(need_value(i++), spec.mobility_presets);
+    } else if (arg == "--rounds") {
+      std::uint64_t value = 0;
+      ok = parse_u64(need_value(i++), value) && value > 0 && value <= 100000;
+      spec.rounds = static_cast<int>(value);
+    } else if (arg == "--sweep") {
+      const std::string sweep = need_value(i++);
+      if (sweep == "table-a") {
+        spec.node_counts = {16};
+        spec.attacker_fractions = {0.0, 0.15, 0.30, 0.45};
+        spec.rounds = 12;
+      } else if (sweep == "fig3") {
+        spec.node_counts = {16};
+        // 1, 4 and 6 liars out of 14 bystanders — the paper's ratios.
+        spec.attacker_fractions = {0.07, 0.29, 0.43};
+        spec.rounds = 25;
+      } else {
+        std::fprintf(stderr, "error: unknown sweep '%s'\n", sweep.c_str());
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      std::uint64_t value = 0;
+      ok = parse_u64(need_value(i++), value) && value <= 4096;
+      threads = static_cast<unsigned>(value);
+    } else if (arg == "--confidence") {
+      ok = parse_f64(need_value(i++), confidence) && confidence > 0.0 &&
+           confidence < 1.0;
+    } else if (arg == "--format") {
+      format = need_value(i++);
+      ok = format == "csv" || format == "json";
+    } else if (arg == "--per-round") {
+      per_round = true;
+    } else if (arg == "--out") {
+      out_path = need_value(i++);
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: bad value for %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  spec.seeds = runtime::ExperimentSpec::seed_range(seed_base, num_seeds);
+
+  runtime::Runner::Config rc;
+  rc.threads = threads;
+  runtime::Runner runner{rc};
+  const auto total = spec.replication_count();
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "running %zu replications (%zu grid points x %zu seeds, "
+                 "%d rounds) on %u thread(s)\n",
+                 total, spec.grid().size(), spec.seeds.size(), spec.rounds,
+                 runner.effective_threads(total));
+    runner.set_progress([](std::size_t done, std::size_t all) {
+      std::fprintf(stderr, "\r  %zu/%zu", done, all);
+      if (done == all) std::fprintf(stderr, "\n");
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<runtime::ReplicationResult> results;
+  try {
+    results = runner.run(spec);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: replication failed: %s\n", e.what());
+    return 1;
+  }
+  const auto wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  runtime::Aggregator aggregator{confidence};
+  std::string output;
+  if (per_round) {
+    output = runtime::Aggregator::per_round_csv(aggregator.per_round(results));
+  } else {
+    const auto rows = aggregator.aggregate(results);
+    output = format == "json" ? runtime::Aggregator::to_json(rows)
+                              : runtime::Aggregator::to_csv(rows);
+  }
+
+  if (out_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
+      return 1;
+    }
+    std::fputs(output.c_str(), f);
+    std::fclose(f);
+  }
+
+  if (!quiet)
+    std::fprintf(stderr, "done: %zu replications in %.2f s (%.1f repl/s)\n",
+                 total, wall, wall > 0 ? static_cast<double>(total) / wall : 0.0);
+  return 0;
+}
