@@ -7,23 +7,51 @@
 namespace manet::net {
 
 Medium::Medium(sim::Simulator& sim, RadioConfig config)
-    : sim_{sim}, config_{config} {}
+    : sim_{sim},
+      config_{config},
+      // The 3x3 neighborhood guarantee needs cell size >= range; degenerate
+      // ranges still need a positive cell to index coincident hosts.
+      grid_{std::max(config.range_m, 1e-6)} {}
 
 void Medium::attach(NodeId id, Position pos, ReceiveHandler handler) {
-  if (hosts_.contains(id))
+  if (index_.contains(id))
     throw std::logic_error{"host already attached: " + id.to_string()};
-  hosts_.emplace(id, Host{pos, std::move(handler), true, {}});
+  const auto slot = static_cast<std::uint32_t>(hosts_.size());
+  hosts_.push_back(Host{id, pos, std::move(handler), true, {}});
+  index_.emplace(id, slot);
+  grid_.insert(slot, pos);
 }
 
-void Medium::detach(NodeId id) { hosts_.erase(id); }
+void Medium::detach(NodeId id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) return;
+  const std::uint32_t slot = it->second;
+  grid_.erase(slot, hosts_[slot].pos);
+  index_.erase(it);
+  // Keep storage dense: move the last host into the freed slot.
+  const auto last = static_cast<std::uint32_t>(hosts_.size() - 1);
+  if (slot != last) {
+    grid_.replace(last, slot, hosts_[last].pos);
+    hosts_[slot] = std::move(hosts_[last]);
+    index_[hosts_[slot].id] = slot;
+  }
+  hosts_.pop_back();
+}
 
 void Medium::set_handler(NodeId id, ReceiveHandler handler) {
   host(id).handler = std::move(handler);
 }
 
-bool Medium::attached(NodeId id) const { return hosts_.contains(id); }
+bool Medium::attached(NodeId id) const { return index_.contains(id); }
 
-void Medium::set_position(NodeId id, Position pos) { host(id).pos = pos; }
+void Medium::set_position(NodeId id, Position pos) {
+  const auto it = index_.find(id);
+  if (it == index_.end())
+    throw std::out_of_range{"unknown host: " + id.to_string()};
+  Host& h = hosts_[it->second];
+  grid_.relocate(it->second, h.pos, pos);
+  h.pos = pos;
+}
 
 Position Medium::position(NodeId id) const { return host(id).pos; }
 
@@ -32,43 +60,75 @@ void Medium::set_up(NodeId id, bool up) { host(id).up = up; }
 bool Medium::is_up(NodeId id) const { return host(id).up; }
 
 Medium::Host& Medium::host(NodeId id) {
-  auto it = hosts_.find(id);
-  if (it == hosts_.end())
+  const auto it = index_.find(id);
+  if (it == index_.end())
     throw std::out_of_range{"unknown host: " + id.to_string()};
-  return it->second;
+  return hosts_[it->second];
 }
 
 const Medium::Host& Medium::host(NodeId id) const {
-  auto it = hosts_.find(id);
-  if (it == hosts_.end())
+  const auto it = index_.find(id);
+  if (it == index_.end())
     throw std::out_of_range{"unknown host: " + id.to_string()};
-  return it->second;
+  return hosts_[it->second];
 }
 
 void Medium::broadcast(NodeId sender, Bytes payload) {
+  transmit(sender, kInvalidNode,
+           std::make_shared<const Bytes>(std::move(payload)));
+}
+
+void Medium::broadcast(NodeId sender, PayloadPtr payload) {
   transmit(sender, kInvalidNode, std::move(payload));
 }
 
 void Medium::unicast(NodeId sender, NodeId next_hop, Bytes payload) {
+  transmit(sender, next_hop,
+           std::make_shared<const Bytes>(std::move(payload)));
+}
+
+void Medium::unicast(NodeId sender, NodeId next_hop, PayloadPtr payload) {
   transmit(sender, next_hop, std::move(payload));
 }
 
-void Medium::transmit(NodeId sender, NodeId link_dest, Bytes payload) {
+void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
   const Host& tx = host(sender);
   if (!tx.up) return;
   ++stats_.frames_sent;
-  stats_.bytes_sent += payload.size();
+  stats_.bytes_sent += payload->size();
 
-  for (const auto& [id, rx] : hosts_) {
-    if (id == sender || !rx.up) continue;
-    if (link_dest.valid() && id != link_dest) continue;
-    if (distance(tx.pos, rx.pos) > config_.range_m) continue;
-    deliver_to(sender, id, link_dest, payload);
+  const Packet packet{sender, link_dest, std::move(payload), sim_.now()};
+
+  if (link_dest.valid()) {
+    // Unicast fast path: at most one receiver, no scan at all.
+    if (link_dest == sender) return;
+    const auto it = index_.find(link_dest);
+    if (it == index_.end()) return;
+    Host& rx = hosts_[it->second];
+    if (!rx.up || distance(tx.pos, rx.pos) > config_.range_m) return;
+    deliver_to(rx, packet);
+    return;
   }
+
+  // Broadcast: collect in-range receivers from the 3x3 grid neighborhood,
+  // then deliver in ascending NodeId order so the RNG draw sequence matches
+  // the full-scan implementation this replaced.
+  const Position origin = tx.pos;
+  receiver_scratch_.clear();
+  grid_.for_each_candidate(origin, [&](std::uint32_t slot) {
+    const Host& rx = hosts_[slot];
+    if (rx.id == sender || !rx.up) return;
+    if (distance(origin, rx.pos) > config_.range_m) return;
+    receiver_scratch_.push_back(slot);
+  });
+  std::sort(receiver_scratch_.begin(), receiver_scratch_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return hosts_[a].id < hosts_[b].id;
+            });
+  for (const auto slot : receiver_scratch_) deliver_to(hosts_[slot], packet);
 }
 
-void Medium::deliver_to(NodeId sender, NodeId receiver, NodeId link_dest,
-                        const Bytes& payload) {
+void Medium::deliver_to(Host& rx, const Packet& packet) {
   // Independent per-delivery loss.
   if (sim_.rng().bernoulli(config_.loss_probability)) {
     ++stats_.losses;
@@ -82,10 +142,11 @@ void Medium::deliver_to(NodeId sender, NodeId receiver, NodeId link_dest,
   }
   const sim::Time arrival = sim_.now() + delay;
 
-  Host& rx = host(receiver);
-  auto corrupted = std::make_shared<bool>(false);
-
+  // The corruption flag is shared with later overlapping arrivals; only
+  // allocated when the collision model is on.
+  std::shared_ptr<bool> corrupted;
   if (config_.collision_window > sim::Duration{}) {
+    corrupted = std::make_shared<bool>(false);
     // Purge stale entries, then collide with any overlapping arrival.
     std::erase_if(rx.arrivals, [&](const auto& a) {
       return a.first + config_.collision_window < sim_.now();
@@ -100,29 +161,32 @@ void Medium::deliver_to(NodeId sender, NodeId receiver, NodeId link_dest,
     rx.arrivals.emplace_back(arrival, corrupted);
   }
 
-  Packet packet{sender, link_dest, payload, sim_.now()};
-  sim_.schedule_at(arrival, [this, receiver, corrupted,
-                             packet = std::move(packet), arrival] {
-    auto it = hosts_.find(receiver);
-    if (it == hosts_.end() || !it->second.up) return;
-    std::erase_if(it->second.arrivals,
-                  [&](const auto& a) { return a.first <= arrival; });
-    if (*corrupted) {
-      ++stats_.collisions;
-      return;
-    }
-    ++stats_.deliveries;
-    if (it->second.handler) it->second.handler(packet);
-  });
+  sim_.schedule_at(
+      arrival, [this, receiver = rx.id, corrupted, packet, arrival] {
+        const auto it = index_.find(receiver);
+        if (it == index_.end()) return;
+        Host& h = hosts_[it->second];
+        if (!h.up) return;
+        std::erase_if(h.arrivals,
+                      [&](const auto& a) { return a.first <= arrival; });
+        if (corrupted && *corrupted) {
+          ++stats_.collisions;
+          return;
+        }
+        ++stats_.deliveries;
+        if (h.handler) h.handler(packet);
+      });
 }
 
 std::vector<NodeId> Medium::neighbors_in_range(NodeId id) const {
   const Host& me = host(id);
   std::vector<NodeId> out;
-  for (const auto& [other, h] : hosts_) {
-    if (other == id || !h.up) continue;
-    if (distance(me.pos, h.pos) <= config_.range_m) out.push_back(other);
-  }
+  grid_.for_each_candidate(me.pos, [&](std::uint32_t slot) {
+    const Host& h = hosts_[slot];
+    if (h.id == id || !h.up) return;
+    if (distance(me.pos, h.pos) <= config_.range_m) out.push_back(h.id);
+  });
+  std::sort(out.begin(), out.end());
   return out;
 }
 

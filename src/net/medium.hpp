@@ -2,12 +2,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.hpp"
 #include "net/position.hpp"
+#include "net/spatial_grid.hpp"
 #include "sim/simulator.hpp"
 
 namespace manet::net {
@@ -39,6 +40,13 @@ struct MediumStats {
 /// handler; transmissions reach every attached host within radio range,
 /// subject to loss, delay jitter and collisions. Deterministic given the
 /// simulator seed.
+///
+/// Hosts live in a dense vector indexed through a uniform-grid spatial
+/// index (cell size = radio range), so a transmit examines only the 3x3
+/// cell neighborhood of the sender instead of scanning every host.
+/// Receivers are delivered in ascending NodeId order — the iteration order
+/// of the original std::map full scan — so the RNG draw sequence, and
+/// therefore every trace, is unchanged.
 class Medium {
  public:
   using ReceiveHandler = std::function<void(const Packet&)>;
@@ -60,11 +68,14 @@ class Medium {
   void set_up(NodeId id, bool up);
   bool is_up(NodeId id) const;
 
-  /// Link-layer broadcast to every in-range host.
+  /// Link-layer broadcast to every in-range host. The payload is serialized
+  /// once and shared by all receivers (zero-copy).
   void broadcast(NodeId sender, Bytes payload);
+  void broadcast(NodeId sender, PayloadPtr payload);
 
   /// Link-layer unicast: delivered only to `next_hop`, and only if in range.
   void unicast(NodeId sender, NodeId next_hop, Bytes payload);
+  void unicast(NodeId sender, NodeId next_hop, PayloadPtr payload);
 
   /// Ground-truth in-range neighbors — for tests and topology assertions
   /// only; protocol code must learn neighbors via HELLO exchange.
@@ -77,6 +88,7 @@ class Medium {
 
  private:
   struct Host {
+    NodeId id;
     Position pos;
     ReceiveHandler handler;
     bool up = true;
@@ -84,15 +96,17 @@ class Medium {
     std::vector<std::pair<sim::Time, std::shared_ptr<bool>>> arrivals;
   };
 
-  void transmit(NodeId sender, NodeId link_dest, Bytes payload);
-  void deliver_to(NodeId sender, NodeId receiver, NodeId link_dest,
-                  const Bytes& payload);
+  void transmit(NodeId sender, NodeId link_dest, PayloadPtr payload);
+  void deliver_to(Host& rx, const Packet& packet);
   Host& host(NodeId id);
   const Host& host(NodeId id) const;
 
   sim::Simulator& sim_;
   RadioConfig config_;
-  std::map<NodeId, Host> hosts_;
+  std::vector<Host> hosts_;
+  std::unordered_map<NodeId, std::uint32_t> index_;
+  SpatialGrid grid_;
+  std::vector<std::uint32_t> receiver_scratch_;  ///< reused per transmit
   MediumStats stats_;
 };
 

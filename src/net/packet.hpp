@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -10,14 +11,21 @@ namespace manet::net {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Immutable payload shared by every receiver of one transmission. A
+/// broadcast serializes its bytes once; each delivery holds a reference
+/// instead of a deep copy (zero-copy broadcast).
+using PayloadPtr = std::shared_ptr<const Bytes>;
+
 /// A frame as seen by a receiver: who transmitted it on the air (the
 /// link-layer sender, not the originator of the routed message) and the
 /// payload bytes. OLSR parses the payload itself per RFC 3626 wire format.
 struct Packet {
   NodeId transmitter;     ///< link-layer sender
   NodeId link_dest;       ///< kInvalidNode for link-layer broadcast
-  Bytes payload;
+  PayloadPtr data;        ///< shared across all receivers of the frame
   sim::Time sent_at;      ///< transmission start time
+
+  const Bytes& payload() const { return *data; }
 };
 
 }  // namespace manet::net

@@ -1,0 +1,45 @@
+#include "net/spatial_grid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace manet::net {
+
+SpatialGrid::SpatialGrid(double cell_size) {
+  if (!(cell_size > 0.0))
+    throw std::invalid_argument{"SpatialGrid cell_size must be > 0"};
+  inv_cell_ = 1.0 / cell_size;
+}
+
+void SpatialGrid::insert(std::uint32_t id, Position p) {
+  cells_[key(coord(p.x), coord(p.y))].push_back(id);
+}
+
+void SpatialGrid::erase(std::uint32_t id, Position p) {
+  const auto it = cells_.find(key(coord(p.x), coord(p.y)));
+  if (it == cells_.end()) return;
+  auto& ids = it->second;
+  const auto pos = std::find(ids.begin(), ids.end(), id);
+  if (pos == ids.end()) return;
+  *pos = ids.back();
+  ids.pop_back();
+  if (ids.empty()) cells_.erase(it);
+}
+
+void SpatialGrid::relocate(std::uint32_t id, Position from, Position to) {
+  if (coord(from.x) == coord(to.x) && coord(from.y) == coord(to.y)) return;
+  erase(id, from);
+  insert(id, to);
+}
+
+void SpatialGrid::replace(std::uint32_t old_id, std::uint32_t new_id,
+                          Position p) {
+  const auto it = cells_.find(key(coord(p.x), coord(p.y)));
+  if (it == cells_.end()) return;
+  const auto pos = std::find(it->second.begin(), it->second.end(), old_id);
+  if (pos != it->second.end()) *pos = new_id;
+}
+
+void SpatialGrid::clear() { cells_.clear(); }
+
+}  // namespace manet::net

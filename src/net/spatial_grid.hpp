@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/position.hpp"
+
+namespace manet::net {
+
+/// Uniform-grid spatial index over 2-D points. With cell size >= the query
+/// radius, every point within that radius of `p` lives in the 3x3 cell
+/// neighborhood around `p`, so a range query touches O(local density)
+/// points instead of O(N). The Medium uses it to find broadcast receivers;
+/// the topology helpers use it for adjacency and min-separation checks.
+///
+/// Ids are opaque 32-bit handles chosen by the caller (the Medium stores
+/// host slots, topology stores position indices).
+class SpatialGrid {
+ public:
+  /// `cell_size` must be positive and should equal the largest query radius
+  /// for the 3x3 neighborhood guarantee to hold.
+  explicit SpatialGrid(double cell_size);
+
+  void insert(std::uint32_t id, Position p);
+  void erase(std::uint32_t id, Position p);
+  /// Moves an id; cheap no-op when the position stays within its cell.
+  void relocate(std::uint32_t id, Position from, Position to);
+  /// Renames an id in place (the Medium compacts host slots on detach).
+  void replace(std::uint32_t old_id, std::uint32_t new_id, Position p);
+  void clear();
+
+  /// Calls fn(id) for every point in the 3x3 cell neighborhood of `p` — a
+  /// superset of the points within cell_size of `p`; callers do the exact
+  /// distance test. Enumeration order is deterministic for a given
+  /// insert/erase history (callers that need a canonical order sort).
+  template <typename Fn>
+  void for_each_candidate(Position p, Fn&& fn) const {
+    const std::int32_t cx = coord(p.x);
+    const std::int32_t cy = coord(p.y);
+    for (std::int32_t dx = -1; dx <= 1; ++dx) {
+      for (std::int32_t dy = -1; dy <= 1; ++dy) {
+        const auto it = cells_.find(key(cx + dx, cy + dy));
+        if (it == cells_.end()) continue;
+        for (const auto id : it->second) fn(id);
+      }
+    }
+  }
+
+ private:
+  static std::uint64_t key(std::int32_t cx, std::int32_t cy) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
+           static_cast<std::uint32_t>(cy);
+  }
+  std::int32_t coord(double v) const {
+    return static_cast<std::int32_t>(std::floor(v * inv_cell_));
+  }
+
+  double inv_cell_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace manet::net

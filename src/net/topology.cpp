@@ -1,9 +1,12 @@
 #include "net/topology.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
 #include <vector>
+
+#include "net/spatial_grid.hpp"
 
 namespace manet::net {
 
@@ -42,6 +45,12 @@ std::vector<Position> random_layout(std::size_t n, double width, double height,
                                     double min_separation, sim::Rng& rng) {
   std::vector<Position> out;
   out.reserve(n);
+  // Grid index over the already-placed nodes: a candidate only needs to be
+  // checked against the 3x3 cell neighborhood instead of every prior node.
+  // Accept/reject decisions — and therefore the RNG draw sequence — are
+  // identical to the full pair scan this replaced.
+  const bool check_sep = min_separation > 0.0;
+  SpatialGrid grid{check_sep ? min_separation : 1.0};
   constexpr int kMaxAttemptsPerNode = 1000;
   for (std::size_t i = 0; i < n; ++i) {
     bool placed = false;
@@ -49,13 +58,13 @@ std::vector<Position> random_layout(std::size_t n, double width, double height,
       const Position candidate{rng.uniform_real(0.0, width),
                                rng.uniform_real(0.0, height)};
       bool ok = true;
-      for (const auto& existing : out) {
-        if (distance(candidate, existing) < min_separation) {
-          ok = false;
-          break;
-        }
+      if (check_sep) {
+        grid.for_each_candidate(candidate, [&](std::uint32_t j) {
+          if (distance(candidate, out[j]) < min_separation) ok = false;
+        });
       }
       if (ok) {
+        if (check_sep) grid.insert(static_cast<std::uint32_t>(i), candidate);
         out.push_back(candidate);
         placed = true;
         break;
@@ -84,14 +93,20 @@ std::vector<Position> connected_random_layout(std::size_t n, double width,
 
 std::vector<std::vector<std::size_t>> adjacency(
     const std::vector<Position>& positions, double range) {
-  std::vector<std::vector<std::size_t>> adj(positions.size());
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    for (std::size_t j = i + 1; j < positions.size(); ++j) {
-      if (distance(positions[i], positions[j]) <= range) {
-        adj[i].push_back(j);
-        adj[j].push_back(i);
-      }
-    }
+  const std::size_t n = positions.size();
+  std::vector<std::vector<std::size_t>> adj(n);
+  if (n == 0) return adj;
+  // Grid index instead of the O(N^2) pair scan; neighbor lists are sorted
+  // ascending, exactly as the pair scan produced them.
+  SpatialGrid grid{std::max(range, 1e-9)};
+  for (std::size_t i = 0; i < n; ++i)
+    grid.insert(static_cast<std::uint32_t>(i), positions[i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    grid.for_each_candidate(positions[i], [&](std::uint32_t j) {
+      if (j == i) return;
+      if (distance(positions[i], positions[j]) <= range) adj[i].push_back(j);
+    });
+    std::sort(adj[i].begin(), adj[i].end());
   }
   return adj;
 }

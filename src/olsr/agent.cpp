@@ -244,7 +244,7 @@ void Agent::raw_broadcast(Message message) {
 void Agent::handle_packet(const net::Packet& packet) {
   OlsrPacket parsed;
   try {
-    parsed = parse_packet(packet.payload);
+    parsed = parse_packet(packet.payload());
   } catch (const WireError&) {
     ++stats_.parse_errors;
     auto rec = make_record("packet_parse_error");

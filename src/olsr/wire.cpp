@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <type_traits>
 
 namespace manet::olsr {
 namespace {
@@ -22,6 +23,9 @@ class ByteWriter {
     out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
   }
   void node(NodeId id) { u32(id.value()); }
+  void bytes(const std::uint8_t* p, std::size_t n) {
+    out_.insert(out_.end(), p, p + n);
+  }
   std::size_t size() const { return out_.size(); }
   /// Back-patches a previously written u16 at `offset`.
   void patch_u16(std::size_t offset, std::uint16_t v) {
@@ -57,6 +61,12 @@ class ByteReader {
     return v;
   }
   NodeId node() { return NodeId{u32()}; }
+  void bytes(net::Bytes& out, std::size_t n) {
+    require(n);
+    out.insert(out.end(), in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+  }
   std::size_t pos() const { return pos_; }
   std::size_t remaining() const { return in_.size() - pos_; }
   void require(std::size_t n) const {
@@ -69,6 +79,9 @@ class ByteReader {
 };
 
 constexpr double kVtimeScale = 1.0 / 16.0;  // C in seconds
+
+/// type + vtime + size + originator + ttl + hop count + seq num (§3.3).
+constexpr std::size_t kMessageHeaderSize = 12;
 
 void write_body(ByteWriter& w, const HelloMessage& h) {
   w.u16(0);  // reserved
@@ -109,7 +122,33 @@ void write_body(ByteWriter& w, const DataMessage& d) {
   for (auto hop : d.route) w.node(hop);
   for (auto hop : d.trace) w.node(hop);
   w.u16(static_cast<std::uint16_t>(d.payload.size()));
-  for (auto b : d.payload) w.u8(b);
+  w.bytes(d.payload.data(), d.payload.size());
+}
+
+/// Exact serialized body size per message type — lets serialize_packet
+/// reserve the output buffer in one shot and wire_size() skip serializing.
+std::size_t body_wire_size(const MessageBody& body) {
+  return std::visit(
+      [](const auto& b) -> std::size_t {
+        using T = std::remove_cvref_t<decltype(b)>;
+        if constexpr (std::is_same_v<T, HelloMessage>) {
+          std::size_t n = 4;
+          for (const auto& [code, addrs] : b.link_groups)
+            n += 4 + 4 * addrs.size();
+          return n;
+        } else if constexpr (std::is_same_v<T, TcMessage>) {
+          return 4 + 4 * b.advertised.size();
+        } else if constexpr (std::is_same_v<T, MidMessage>) {
+          return 4 * b.interfaces.size();
+        } else if constexpr (std::is_same_v<T, HnaMessage>) {
+          return 8 * b.entries.size();
+        } else {
+          static_assert(std::is_same_v<T, DataMessage>);
+          return 14 + 4 * (b.route.size() + b.trace.size()) +
+                 b.payload.size();
+        }
+      },
+      body);
 }
 
 HelloMessage read_hello(ByteReader& r, std::size_t body_end) {
@@ -169,7 +208,8 @@ DataMessage read_data(ByteReader& r, std::size_t body_end) {
   for (std::size_t i = 0; i < route_len; ++i) d.route.push_back(r.node());
   for (std::size_t i = 0; i < trace_len; ++i) d.trace.push_back(r.node());
   const auto payload_len = r.u16();
-  for (std::size_t i = 0; i < payload_len; ++i) d.payload.push_back(r.u8());
+  d.payload.reserve(payload_len);
+  r.bytes(d.payload, payload_len);
   if (r.pos() != body_end) throw WireError{"data body overrun"};
   return d;
 }
@@ -216,7 +256,11 @@ void write_message(ByteWriter& w, const Message& m) {
 }  // namespace
 
 net::Bytes serialize_packet(const OlsrPacket& packet) {
+  std::size_t total = 4;  // packet header
+  for (const auto& m : packet.messages)
+    total += kMessageHeaderSize + body_wire_size(m.body);
   net::Bytes out;
+  out.reserve(total);
   ByteWriter w{out};
   w.u16(0);  // packet length, patched below
   w.u16(packet.seq_num);
@@ -271,9 +315,7 @@ OlsrPacket parse_packet(const net::Bytes& bytes) {
 }
 
 std::size_t wire_size(const Message& message) {
-  OlsrPacket p;
-  p.messages.push_back(message);
-  return serialize_packet(p).size() - 4;  // minus packet header
+  return kMessageHeaderSize + body_wire_size(message.body);
 }
 
 }  // namespace manet::olsr

@@ -1,32 +1,64 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace manet::sim {
 
 EventId EventQueue::schedule(Time at, Callback cb) {
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{at, seq, std::move(cb)});
+  heap_.push_back(Entry{at, seq, std::move(cb)});
+  sift_up(heap_.size() - 1);
   ++live_;
   return EventId{seq};
 }
 
 void EventQueue::cancel(EventId id) {
   if (!id.valid()) return;
-  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.id_);
-  if (it != cancelled_.end() && *it == id.id_) return;
-  cancelled_.insert(it, id.id_);
-  if (live_ > 0) --live_;
+  if (cancelled_.insert(id.id_).second && live_ > 0) --live_;
+}
+
+void EventQueue::sift_up(std::size_t i) const {
+  Entry e = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(e);
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(e);
+}
+
+void EventQueue::pop_top() const {
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
 }
 
 void EventQueue::drop_cancelled() const {
   while (!heap_.empty()) {
-    const auto seq = heap_.top().seq;
-    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
-    if (it == cancelled_.end() || *it != seq) return;
+    auto it = cancelled_.find(heap_.front().seq);
+    if (it == cancelled_.end()) return;
     cancelled_.erase(it);
-    heap_.pop();
+    pop_top();
   }
 }
 
@@ -38,15 +70,15 @@ bool EventQueue::empty() const {
 Time EventQueue::next_time() const {
   drop_cancelled();
   if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty"};
-  return heap_.top().at;
+  return heap_.front().at;
 }
 
 Time EventQueue::run_next() {
   drop_cancelled();
   if (heap_.empty()) throw std::logic_error{"EventQueue::run_next on empty"};
   // Move the entry out before running: the callback may schedule/cancel.
-  Entry e = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
+  Entry e = std::move(heap_.front());
+  pop_top();
   if (live_ > 0) --live_;
   e.cb();
   return e.at;

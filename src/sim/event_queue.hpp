@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace manet::sim {
@@ -23,10 +23,14 @@ class EventId {
 };
 
 /// Time-ordered queue of callbacks. Ties are broken by insertion order so a
-/// run is deterministic regardless of the heap implementation.
+/// run is deterministic regardless of the heap implementation. Entries hold
+/// their callback inline (sim::Callback small-buffer storage) in a manual
+/// binary heap, so steady-state scheduling performs no per-event heap
+/// allocation. Cancellation is O(1) lazy: cancelled ids go into a hash set
+/// and matching entries are discarded when they surface at the heap top.
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   EventId schedule(Time at, Callback cb);
   void cancel(EventId id);
@@ -44,15 +48,21 @@ class EventQueue {
     Time at;
     std::uint64_t seq;
     Callback cb;
-    bool operator>(const Entry& o) const {
-      if (at != o.at) return at > o.at;
-      return seq > o.seq;
-    }
   };
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  // The heap mutators are const so that empty()/next_time() can discard
+  // cancelled entries; heap_ and cancelled_ are mutable caches of the same
+  // logical queue (as in the previous priority_queue implementation).
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  void pop_top() const;
   void drop_cancelled() const;
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  mutable std::vector<std::uint64_t> cancelled_;  // sorted ids
+  mutable std::vector<Entry> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
 };

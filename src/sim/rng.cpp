@@ -14,56 +14,12 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
   // Expand the seed with splitmix64, the recommended seeding procedure for
   // the xoshiro family (avoids correlated low-entropy states).
   for (auto& word : s_) word = splitmix64(seed);
-}
-
-std::uint64_t Rng::next_u64() {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::next_double() {
-  // 53 high bits -> double in [0,1).
-  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
-  // Rejection sampling to avoid modulo bias.
-  const std::uint64_t limit = std::numeric_limits<std::uint64_t>::max() -
-                              std::numeric_limits<std::uint64_t>::max() % span;
-  std::uint64_t v;
-  do {
-    v = next_u64();
-  } while (v >= limit);
-  return lo + static_cast<std::int64_t>(v % span);
-}
-
-double Rng::uniform_real(double lo, double hi) {
-  return lo + (hi - lo) * next_double();
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return next_double() < p;
 }
 
 double Rng::normal(double mean, double stddev) {
@@ -82,7 +38,5 @@ double Rng::normal(double mean, double stddev) {
   has_cached_normal_ = true;
   return mean + stddev * r * std::cos(theta);
 }
-
-Rng Rng::fork() { return Rng{next_u64()}; }
 
 }  // namespace manet::sim

@@ -8,25 +8,59 @@ namespace manet::sim {
 
 /// Deterministic pseudo-random source (xoshiro256**). Every stochastic
 /// component of the simulator draws from an explicitly seeded Rng so that a
-/// scenario is fully reproducible from its seed.
+/// scenario is fully reproducible from its seed. The hot draws (next_u64,
+/// bernoulli, uniform_int) are defined inline: the medium performs one
+/// bernoulli + one uniform_int per frame delivery, and keeping them in the
+/// header lets the compiler fold them into the delivery loop.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
 
   /// Uniform over the full 64-bit range.
-  std::uint64_t next_u64();
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, 1).
-  double next_double();
+  double next_double() {
+    // 53 high bits -> double in [0,1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % span;
+    std::uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % span);
+  }
 
   /// Uniform real in [lo, hi).
-  double uniform_real(double lo, double hi);
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
 
   /// True with probability p (clamped to [0,1]).
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return next_double() < p;
+  }
 
   /// Standard normal via Box-Muller (deterministic across platforms).
   double normal(double mean = 0.0, double stddev = 1.0);
@@ -43,9 +77,13 @@ class Rng {
   }
 
   /// Derives an independent child stream (for per-node randomness).
-  Rng fork();
+  Rng fork() { return Rng{next_u64()}; }
 
  private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;

@@ -1,0 +1,36 @@
+// Runs the perf-gauge micro benchmarks — medium broadcast (spatial grid and
+// the seed full-scan baseline), event-queue churn, MPR selection, wire
+// round-trip — with repeated runs and median aggregates, and writes the
+// results to BENCH_2.json: the recorded perf trajectory for this repo.
+//
+// Extra --benchmark_* flags are appended after the defaults, so e.g.
+//   bench_report --benchmark_min_time=0.01s --benchmark_repetitions=2
+// gives a quick CI smoke run.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args = {
+      argv[0],
+      "--benchmark_out=BENCH_2.json",
+      "--benchmark_out_format=json",
+      "--benchmark_repetitions=5",
+      "--benchmark_report_aggregates_only=true",
+      "--benchmark_filter=BM_MediumBroadcast|BM_EventQueueChurn|"
+      "BM_MprSelection|BM_HelloSerializeParse",
+  };
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+
+  benchmark::Initialize(&argc2, argv2.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
