@@ -1,0 +1,134 @@
+// Micro-benchmarks of batched HELLO broadcast rounds: the BroadcastBatch
+// fast path (one candidate gather + ascending-NodeId sort per occupied grid
+// cell per round, shared across all senders in the cell) against the
+// per-sender Medium::broadcast it replaces (one gather + sort per sender).
+//
+// A "round" is one HELLO jitter window at full participation: every node
+// broadcasts one HELLO-sized frame, so every cell holds >= 8 senders per
+// window at the dense spacing and N/round >= 8 senders everywhere. The
+// *_Round benches time the Medium's transmit work (receiver computation,
+// RNG draws, delivery scheduling); the queue drain that follows is
+// identical for both paths — it executes the exact same delivery events —
+// and is timed separately by BM_RoundWithDrain for the end-to-end figure.
+// Acceptance (BENCH_4.json): batched >= 2x per-sender round throughput at
+// N=1024.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/medium.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+using namespace manet;
+
+namespace {
+
+// 180 m spacing ~= the micro_medium layout (~8 in-range neighbors, ~2
+// senders per 250 m cell); 88 m spacing is the dense variant (~8 senders
+// per cell, ~24 in-range neighbors) where per-sender sorts are heaviest.
+std::vector<net::Position> layout_for(std::size_t n, double spacing) {
+  return net::grid_layout(n, spacing);
+}
+
+net::PayloadPtr hello_sized_payload() {
+  return net::make_payload(net::Bytes(60, 0xAB));
+}
+
+struct RoundFixture {
+  sim::Simulator sim{42};
+  net::Medium medium;
+  std::size_t n;
+  std::uint64_t delivered = 0;
+
+  RoundFixture(std::size_t n_, double spacing)
+      : medium{sim, net::RadioConfig{}}, n{n_} {
+    const auto layout = layout_for(n, spacing);
+    for (std::size_t i = 0; i < n; ++i) {
+      medium.attach(net::NodeId{static_cast<std::uint32_t>(i)}, layout[i],
+                    [this](const net::Packet& p) {
+                      delivered += p.payload().size();
+                    });
+    }
+  }
+};
+
+}  // namespace
+
+// One batched HELLO round: every node enrolls and broadcasts through the
+// BroadcastBatch; the queue drain runs untimed (identical in both paths).
+static void BM_BatchedRound(benchmark::State& state) {
+  RoundFixture f{static_cast<std::size_t>(state.range(0)),
+                 static_cast<double>(state.range(1))};
+  const auto payload = hello_sized_payload();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < f.n; ++i) {
+      const net::NodeId id{static_cast<std::uint32_t>(i)};
+      f.medium.hello_batch().enroll(id);
+      f.medium.hello_batch().broadcast(id, payload);
+    }
+    state.PauseTiming();
+    f.sim.run_all();
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(f.delivered);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.n));
+}
+BENCHMARK(BM_BatchedRound)
+    ->Args({256, 180})
+    ->Args({1024, 180})
+    ->Args({1024, 88});
+
+// The per-sender baseline: identical round, every broadcast does its own
+// 3x3 gather + receiver sort.
+static void BM_PerSenderRound(benchmark::State& state) {
+  RoundFixture f{static_cast<std::size_t>(state.range(0)),
+                 static_cast<double>(state.range(1))};
+  const auto payload = hello_sized_payload();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < f.n; ++i)
+      f.medium.broadcast(net::NodeId{static_cast<std::uint32_t>(i)}, payload);
+    state.PauseTiming();
+    f.sim.run_all();
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(f.delivered);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.n));
+}
+BENCHMARK(BM_PerSenderRound)
+    ->Args({256, 180})
+    ->Args({1024, 180})
+    ->Args({1024, 88});
+
+// End-to-end round including the event-queue drain (delivery execution),
+// for both paths — the wall-clock a replication actually sees.
+static void BM_RoundWithDrain(benchmark::State& state) {
+  const bool batched = state.range(2) != 0;
+  RoundFixture f{static_cast<std::size_t>(state.range(0)),
+                 static_cast<double>(state.range(1))};
+  const auto payload = hello_sized_payload();
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < f.n; ++i) {
+      const net::NodeId id{static_cast<std::uint32_t>(i)};
+      if (batched) {
+        f.medium.hello_batch().enroll(id);
+        f.medium.hello_batch().broadcast(id, payload);
+      } else {
+        f.medium.broadcast(id, payload);
+      }
+    }
+    f.sim.run_all();
+  }
+  benchmark::DoNotOptimize(f.delivered);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.n));
+}
+BENCHMARK(BM_RoundWithDrain)
+    ->Args({1024, 180, 0})
+    ->Args({1024, 180, 1})
+    ->Args({1024, 88, 0})
+    ->Args({1024, 88, 1});

@@ -1,6 +1,7 @@
 #include "net/medium.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
 
@@ -20,6 +21,7 @@ void Medium::attach(NodeId id, Position pos, ReceiveHandler handler) {
   hosts_.push_back(Host{id, pos, std::move(handler), true, {}});
   index_.emplace(id, slot);
   grid_.insert(slot, pos);
+  bump_generation();
 }
 
 void Medium::detach(NodeId id) {
@@ -36,6 +38,7 @@ void Medium::detach(NodeId id) {
     index_[hosts_[slot].id] = slot;
   }
   hosts_.pop_back();
+  bump_generation();
 }
 
 void Medium::set_handler(NodeId id, ReceiveHandler handler) {
@@ -51,11 +54,17 @@ void Medium::set_position(NodeId id, Position pos) {
   Host& h = hosts_[it->second];
   grid_.relocate(it->second, h.pos, pos);
   h.pos = pos;
+  bump_generation();
 }
 
 Position Medium::position(NodeId id) const { return host(id).pos; }
 
-void Medium::set_up(NodeId id, bool up) { host(id).up = up; }
+void Medium::set_up(NodeId id, bool up) {
+  Host& h = host(id);
+  if (h.up == up) return;
+  h.up = up;
+  bump_generation();
+}
 
 bool Medium::is_up(NodeId id) const { return host(id).up; }
 
@@ -75,7 +84,7 @@ const Medium::Host& Medium::host(NodeId id) const {
 
 void Medium::broadcast(NodeId sender, Bytes payload) {
   transmit(sender, kInvalidNode,
-           std::make_shared<const Bytes>(std::move(payload)));
+           make_payload(std::move(payload)));
 }
 
 void Medium::broadcast(NodeId sender, PayloadPtr payload) {
@@ -84,11 +93,90 @@ void Medium::broadcast(NodeId sender, PayloadPtr payload) {
 
 void Medium::unicast(NodeId sender, NodeId next_hop, Bytes payload) {
   transmit(sender, next_hop,
-           std::make_shared<const Bytes>(std::move(payload)));
+           make_payload(std::move(payload)));
 }
 
 void Medium::unicast(NodeId sender, NodeId next_hop, PayloadPtr payload) {
   transmit(sender, next_hop, std::move(payload));
+}
+
+void Medium::BroadcastBatch::enroll(NodeId /*sender*/) {
+  ++medium_.batch_stats_.enrolled;
+}
+
+void Medium::BroadcastBatch::broadcast(NodeId sender, Bytes payload) {
+  medium_.transmit_batched(sender,
+                           make_payload(std::move(payload)));
+}
+
+void Medium::BroadcastBatch::broadcast(NodeId sender, PayloadPtr payload) {
+  medium_.transmit_batched(sender, std::move(payload));
+}
+
+Medium::CellSnapshot& Medium::snapshot_for(SpatialGrid::CellKey cell) {
+  CellSnapshot& snap = snapshots_[cell];
+  if (snap.generation == topo_generation_) {
+    ++batch_stats_.snapshot_hits;
+    return snap;
+  }
+  // One gather + one ascending-NodeId sort per occupied cell per topology
+  // generation, shared by every batched sender in the cell. Down hosts are
+  // filtered here (set_up bumps the generation, so the snapshot can never
+  // be stale about radio state).
+  snap.generation = topo_generation_;
+  snap.candidates.clear();
+  grid_.for_each_in_neighborhood(cell, [&](std::uint32_t slot) {
+    const Host& h = hosts_[slot];
+    if (!h.up) return;
+    snap.candidates.push_back(CellSnapshot::Candidate{h.id, slot, h.pos});
+  });
+  std::sort(snap.candidates.begin(), snap.candidates.end(),
+            [](const CellSnapshot::Candidate& a,
+               const CellSnapshot::Candidate& b) { return a.id < b.id; });
+  ++batch_stats_.snapshot_builds;
+  return snap;
+}
+
+void Medium::transmit_batched(NodeId sender, PayloadPtr payload) {
+  const Host& tx = host(sender);
+  if (!tx.up) return;
+  ++stats_.frames_sent;
+  stats_.bytes_sent += payload->size();
+  ++batch_stats_.batched_broadcasts;
+
+  const Packet packet{sender, kInvalidNode, std::move(payload), sim_.now()};
+  const Position origin = tx.pos;
+  const CellSnapshot& snap = snapshot_for(grid_.cell_of(origin));
+
+  // Conservative squared-distance bounds around the exact
+  // `distance(a,b) > range` predicate the per-sender path uses. dx*dx+dy*dy
+  // carries ~2^-51 relative rounding error and std::hypot is within a few
+  // ulps of the true distance, so with a 2^-40 relative safety band (orders
+  // of magnitude wider than any of those errors) a candidate outside the
+  // band is decided without the libm hypot call — provably the same way the
+  // exact test would decide it — and only candidates *inside* the sliver
+  // band around the range circle fall back to the byte-identical predicate.
+  constexpr double kBand = 0x1p-40;
+  const double range_sq = config_.range_m * config_.range_m;
+  const double rr_out = range_sq * (1.0 + kBand);  // beyond: certainly out
+  const double rr_in = range_sq * (1.0 - kBand);   // inside: certainly in
+
+  // The snapshot is already ascending-NodeId and up-filtered; the exact
+  // distance test and the sender exclusion preserve that order, so the RNG
+  // draws and delivery order match the per-sender transmit() exactly. The
+  // deliveries are added through one coalesced-insertion window: each event
+  // is built in place in the queue's heap storage, sifted on close.
+  DeliveryWindow window = sim_.open_window();
+  for (const auto& c : snap.candidates) {
+    if (c.id == sender) continue;
+    const double dx = c.pos.x - origin.x;
+    const double dy = c.pos.y - origin.y;
+    const double dd = dx * dx + dy * dy;
+    if (dd > rr_out) continue;
+    if (dd >= rr_in && distance(origin, c.pos) > config_.range_m) continue;
+    deliver_to(hosts_[c.slot], packet, &window);
+  }
+  window.close();
 }
 
 void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
@@ -128,7 +216,8 @@ void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
   for (const auto slot : receiver_scratch_) deliver_to(hosts_[slot], packet);
 }
 
-void Medium::deliver_to(Host& rx, const Packet& packet) {
+void Medium::deliver_to(Host& rx, const Packet& packet,
+                        DeliveryWindow* window) {
   // Independent per-delivery loss.
   if (sim_.rng().bernoulli(config_.loss_probability)) {
     ++stats_.losses;
@@ -161,21 +250,45 @@ void Medium::deliver_to(Host& rx, const Packet& packet) {
     rx.arrivals.emplace_back(arrival, corrupted);
   }
 
-  sim_.schedule_at(
-      arrival, [this, receiver = rx.id, corrupted, packet, arrival] {
-        const auto it = index_.find(receiver);
-        if (it == index_.end()) return;
-        Host& h = hosts_[it->second];
-        if (!h.up) return;
-        std::erase_if(h.arrivals,
-                      [&](const auto& a) { return a.first <= arrival; });
-        if (corrupted && *corrupted) {
-          ++stats_.collisions;
-          return;
-        }
-        ++stats_.deliveries;
-        if (h.handler) h.handler(packet);
-      });
+  if (config_.collision_window > sim::Duration{}) {
+    auto on_arrival = [this, receiver = rx.id, corrupted, packet, arrival] {
+      const auto it = index_.find(receiver);
+      if (it == index_.end()) return;
+      Host& h = hosts_[it->second];
+      if (!h.up) return;
+      std::erase_if(h.arrivals,
+                    [&](const auto& a) { return a.first <= arrival; });
+      if (*corrupted) {
+        ++stats_.collisions;
+        return;
+      }
+      ++stats_.deliveries;
+      if (h.handler) h.handler(packet);
+    };
+    if (window != nullptr) {
+      window->add(arrival, std::move(on_arrival));
+    } else {
+      sim_.schedule_at(arrival, std::move(on_arrival));
+    }
+    return;
+  }
+
+  // No collision model: `arrivals` stays empty and `corrupted` stays null,
+  // so the callback needs neither — a smaller capture makes every queue
+  // move of the entry cheaper on the hottest path.
+  auto on_arrival = [this, receiver = rx.id, packet] {
+    const auto it = index_.find(receiver);
+    if (it == index_.end()) return;
+    Host& h = hosts_[it->second];
+    if (!h.up) return;
+    ++stats_.deliveries;
+    if (h.handler) h.handler(packet);
+  };
+  if (window != nullptr) {
+    window->add(arrival, std::move(on_arrival));
+  } else {
+    sim_.schedule_at(arrival, std::move(on_arrival));
+  }
 }
 
 std::vector<NodeId> Medium::neighbors_in_range(NodeId id) const {

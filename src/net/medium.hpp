@@ -36,6 +36,17 @@ struct MediumStats {
   std::uint64_t bytes_sent = 0;
 };
 
+/// Accounting of the batched broadcast-round fast path: how often the
+/// shared per-cell receiver snapshots were rebuilt versus reused. In a
+/// static round of S senders over C occupied cells, expect C builds and
+/// S - C hits; any topology mutation invalidates all snapshots.
+struct BatchStats {
+  std::uint64_t enrolled = 0;            ///< BroadcastBatch::enroll calls
+  std::uint64_t batched_broadcasts = 0;  ///< broadcasts served via snapshots
+  std::uint64_t snapshot_builds = 0;     ///< per-cell snapshots (re)built
+  std::uint64_t snapshot_hits = 0;       ///< broadcasts reusing a snapshot
+};
+
 /// The shared broadcast medium. Hosts attach with a position and a receive
 /// handler; transmissions reach every attached host within radio range,
 /// subject to loss, delay jitter and collisions. Deterministic given the
@@ -46,10 +57,52 @@ struct MediumStats {
 /// cell neighborhood of the sender instead of scanning every host.
 /// Receivers are delivered in ascending NodeId order — the iteration order
 /// of the original std::map full scan — so the RNG draw sequence, and
-/// therefore every trace, is unchanged.
+/// therefore every trace, is unchanged. Broadcasts that cluster in time
+/// (the HELLO jitter window) can additionally go through the BroadcastBatch
+/// fast path, which shares one candidate gather + sort per occupied cell
+/// across all senders of the round — again trace-identical.
 class Medium {
  public:
   using ReceiveHandler = std::function<void(const Packet&)>;
+
+  /// Batched broadcast rounds — the HELLO fast path. OLSR HELLO emissions
+  /// cluster inside one jitter window (every node fires once per
+  /// hello_interval, jittered by at most `jitter`); the per-sender
+  /// broadcast path pays one 3x3 grid gather + one ascending-NodeId sort
+  /// per sender even though senders sharing a grid cell see the same
+  /// candidate set. A BroadcastBatch lets the HELLO scheduler announce the
+  /// round: each enrolled sender still transmits in its own event at its
+  /// own jittered time, but the candidate gather + sort is done once per
+  /// occupied cell for the whole round and shared by every sender in that
+  /// cell.
+  ///
+  /// Determinism contract (verified by tests/medium_batch_test.cpp): a
+  /// batched broadcast is observationally identical to Medium::broadcast —
+  /// same receivers in the same ascending-NodeId delivery order, same RNG
+  /// draw sequence (one loss draw, then one jitter draw, per receiver in
+  /// that order), same arrival times, same event ordering — because the
+  /// snapshots are invalidated by every topology mutation (attach, detach,
+  /// set_position, set_up) and are therefore always equal to what a fresh
+  /// gather would produce.
+  class BroadcastBatch {
+   public:
+    /// Announces that `sender` will broadcast during the current jitter
+    /// window (called by the HELLO scheduler when the emission is armed).
+    /// Pure bookkeeping: never draws from the RNG, never schedules.
+    void enroll(NodeId sender);
+
+    /// Broadcasts through the round's shared per-cell snapshots.
+    /// Equivalent to Medium::broadcast in every observable way.
+    void broadcast(NodeId sender, Bytes payload);
+    void broadcast(NodeId sender, PayloadPtr payload);
+
+   private:
+    friend class Medium;
+    explicit BroadcastBatch(Medium& medium) : medium_{medium} {}
+    BroadcastBatch(const BroadcastBatch&) = delete;
+    BroadcastBatch& operator=(const BroadcastBatch&) = delete;
+    Medium& medium_;
+  };
 
   Medium(sim::Simulator& sim, RadioConfig config);
 
@@ -81,8 +134,18 @@ class Medium {
   /// only; protocol code must learn neighbors via HELLO exchange.
   std::vector<NodeId> neighbors_in_range(NodeId id) const;
 
+  /// The shared batched-round handle (one per Medium; agents enroll their
+  /// jittered HELLO emissions and broadcast through it).
+  BroadcastBatch& hello_batch() { return batch_; }
+
   const MediumStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = MediumStats{}; }
+  /// Clears both the frame counters and the batch gauges, so a post-warm-up
+  /// reset leaves every stat block measuring the same phase.
+  void reset_stats() {
+    stats_ = MediumStats{};
+    batch_stats_ = BatchStats{};
+  }
+  const BatchStats& batch_stats() const { return batch_stats_; }
 
   const RadioConfig& config() const { return config_; }
 
@@ -96,8 +159,32 @@ class Medium {
     std::vector<std::pair<sim::Time, std::shared_ptr<bool>>> arrivals;
   };
 
+  /// Shared receiver-candidate snapshot of one grid cell: every up host in
+  /// the 3x3 neighborhood, ascending NodeId, with slot and position copied
+  /// into a compact array so the per-sender scan stays cache-local. Valid
+  /// only while `generation` matches the Medium's topology generation.
+  struct CellSnapshot {
+    struct Candidate {
+      NodeId id;
+      std::uint32_t slot;
+      Position pos;
+    };
+    std::uint64_t generation = 0;
+    std::vector<Candidate> candidates;
+  };
+
+  using DeliveryWindow = sim::EventQueue::Window;
+
   void transmit(NodeId sender, NodeId link_dest, PayloadPtr payload);
-  void deliver_to(Host& rx, const Packet& packet);
+  void transmit_batched(NodeId sender, PayloadPtr payload);
+  /// Draws loss + jitter for one receiver and either schedules the delivery
+  /// (window == nullptr) or adds it to the caller's coalesced-insertion
+  /// window. Identical draws and event order either way.
+  void deliver_to(Host& rx, const Packet& packet,
+                  DeliveryWindow* window = nullptr);
+  CellSnapshot& snapshot_for(SpatialGrid::CellKey cell);
+  /// Any mutation of positions/occupancy/radio state: stale all snapshots.
+  void bump_generation() { ++topo_generation_; }
   Host& host(NodeId id);
   const Host& host(NodeId id) const;
 
@@ -108,6 +195,11 @@ class Medium {
   SpatialGrid grid_;
   std::vector<std::uint32_t> receiver_scratch_;  ///< reused per transmit
   MediumStats stats_;
+
+  BroadcastBatch batch_{*this};
+  std::uint64_t topo_generation_ = 1;
+  std::unordered_map<SpatialGrid::CellKey, CellSnapshot> snapshots_;
+  BatchStats batch_stats_;
 };
 
 }  // namespace manet::net

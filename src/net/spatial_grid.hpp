@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/position.hpp"
@@ -17,8 +18,19 @@ namespace manet::net {
 ///
 /// Ids are opaque 32-bit handles chosen by the caller (the Medium stores
 /// host slots, topology stores position indices).
+///
+/// Determinism contract: enumeration order of `for_each_candidate` /
+/// `for_each_in_neighborhood` is a deterministic function of the
+/// insert/erase history, but is otherwise arbitrary — callers that need a
+/// canonical order (the Medium's ascending-NodeId delivery order) sort the
+/// gathered candidates themselves.
 class SpatialGrid {
  public:
+  /// Opaque identifier of one grid cell (packed integer cell coordinates).
+  /// Two points share a CellKey iff they fall in the same cell, so the
+  /// Medium keys its per-cell broadcast-round snapshots by it.
+  using CellKey = std::uint64_t;
+
   /// `cell_size` must be positive and should equal the largest query radius
   /// for the 3x3 neighborhood guarantee to hold.
   explicit SpatialGrid(double cell_size);
@@ -31,14 +43,28 @@ class SpatialGrid {
   void replace(std::uint32_t old_id, std::uint32_t new_id, Position p);
   void clear();
 
+  /// The cell `p` falls into. Stable across inserts/erases.
+  CellKey cell_of(Position p) const { return key(coord(p.x), coord(p.y)); }
+
   /// Calls fn(id) for every point in the 3x3 cell neighborhood of `p` — a
   /// superset of the points within cell_size of `p`; callers do the exact
   /// distance test. Enumeration order is deterministic for a given
   /// insert/erase history (callers that need a canonical order sort).
   template <typename Fn>
   void for_each_candidate(Position p, Fn&& fn) const {
-    const std::int32_t cx = coord(p.x);
-    const std::int32_t cy = coord(p.y);
+    for_each_in_neighborhood(cell_of(p), std::forward<Fn>(fn));
+  }
+
+  /// Same enumeration as `for_each_candidate`, but around an explicit cell:
+  /// every point whose distance to any point of cell `center` can be within
+  /// cell_size lives in this 3x3 neighborhood. Used by the Medium to build
+  /// one shared candidate snapshot per occupied cell per broadcast round.
+  template <typename Fn>
+  void for_each_in_neighborhood(CellKey center, Fn&& fn) const {
+    const auto cx = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(center >> 32));
+    const auto cy = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(center & 0xFFFFFFFFULL));
     for (std::int32_t dx = -1; dx <= 1; ++dx) {
       for (std::int32_t dy = -1; dy <= 1; ++dy) {
         const auto it = cells_.find(key(cx + dx, cy + dy));
@@ -49,7 +75,7 @@ class SpatialGrid {
   }
 
  private:
-  static std::uint64_t key(std::int32_t cx, std::int32_t cy) {
+  static CellKey key(std::int32_t cx, std::int32_t cy) {
     return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cx)) << 32) |
            static_cast<std::uint32_t>(cy);
   }

@@ -31,7 +31,16 @@ Agent::Agent(sim::Simulator& sim, net::Medium& medium, NodeId id,
                    emit_hna();
                  }},
       housekeeping_timer_{sim, config_.housekeeping_interval, sim::Duration{},
-                          [this] { housekeep(); }} {}
+                          [this] { housekeep(); }} {
+  if (config_.batched_hello) {
+    // The HELLO scheduler drives the Medium's batched broadcast rounds:
+    // every arming of the jittered emission announces the sender for the
+    // upcoming window. Enrollment is pure bookkeeping (no RNG draws, no
+    // events), so it cannot perturb the trace.
+    hello_timer_.set_on_schedule(
+        [this](sim::Time) { medium_.hello_batch().enroll(id_); });
+  }
+}
 
 Agent::~Agent() { stop(); }
 
@@ -147,7 +156,7 @@ void Agent::emit_hello() {
   log_.append(std::move(rec));
 
   ++stats_.hello_sent;
-  broadcast_message(std::move(m));
+  broadcast_message(std::move(m), config_.batched_hello);
 }
 
 void Agent::emit_tc() {
@@ -225,11 +234,15 @@ void Agent::emit_hna() {
   broadcast_message(std::move(m));
 }
 
-void Agent::broadcast_message(Message m) {
+void Agent::broadcast_message(Message m, bool batched) {
   OlsrPacket p;
   p.seq_num = next_pkt_seq();
   p.messages.push_back(std::move(m));
-  medium_.broadcast(id_, serialize_packet(p));
+  if (batched) {
+    medium_.hello_batch().broadcast(id_, serialize_packet(p));
+  } else {
+    medium_.broadcast(id_, serialize_packet(p));
+  }
 }
 
 void Agent::raw_broadcast(Message message) {

@@ -59,6 +59,13 @@ class Agent {
     /// External networks this node gateways for; enables HNA emission.
     std::vector<HnaMessage::Entry> hna_networks;
     bool prune_redundant_mprs = false;
+    /// Route HELLO emissions through the Medium's BroadcastBatch: the HELLO
+    /// scheduler enrolls each jittered emission when it is armed, and the
+    /// emission shares the per-cell receiver gather + sort with every other
+    /// HELLO of the same jitter window. Trace-equivalent to the per-sender
+    /// path (tests/medium_batch_test.cpp pins this); off reproduces the
+    /// unbatched PR-2 behavior exactly, draw for draw.
+    bool batched_hello = true;
     std::size_t log_capacity = 100'000;
   };
 
@@ -134,7 +141,7 @@ class Agent {
 
   void recompute_mprs();
   void recompute_routes();
-  void broadcast_message(Message m);
+  void broadcast_message(Message m, bool batched = false);
 
   std::uint16_t next_msg_seq() { return msg_seq_++; }
   std::uint16_t next_pkt_seq() { return pkt_seq_++; }

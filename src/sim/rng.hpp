@@ -36,13 +36,23 @@ class Rng {
   }
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  /// Determinism contract: consumes next_u64 draws via rejection sampling
+  /// (no modulo bias); the number of draws and the result depend only on
+  /// the stream state and the span, never on caching below.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
-    // Rejection sampling to avoid modulo bias.
-    const std::uint64_t limit =
-        std::numeric_limits<std::uint64_t>::max() -
-        std::numeric_limits<std::uint64_t>::max() % span;
+    // Rejection sampling to avoid modulo bias. The rejection limit is a
+    // pure function of the span; hot callers (frame delivery jitter, timer
+    // jitter) reuse one span millions of times, so cache the last limit to
+    // skip the 64-bit division. The cached value is identical to the
+    // recomputed one, so the draw sequence is unchanged.
+    if (span != cached_span_) {
+      cached_span_ = span;
+      cached_limit_ = std::numeric_limits<std::uint64_t>::max() -
+                      std::numeric_limits<std::uint64_t>::max() % span;
+    }
+    const std::uint64_t limit = cached_limit_;
     std::uint64_t v;
     do {
       v = next_u64();
@@ -87,6 +97,8 @@ class Rng {
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;
   double cached_normal_ = 0.0;
+  std::uint64_t cached_span_ = 0;   ///< uniform_int limit memo (span 0 = none)
+  std::uint64_t cached_limit_ = 0;
 };
 
 }  // namespace manet::sim

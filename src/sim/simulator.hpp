@@ -22,6 +22,11 @@ class Simulator {
   /// Schedules at an absolute time (must not be in the past).
   EventId schedule_at(Time at, EventQueue::Callback cb);
 
+  /// Opens a coalesced-insertion window floored at now() — see
+  /// EventQueue::Window. No other scheduling call may run until it closes;
+  /// equivalent to `schedule_at` on each added event in order.
+  EventQueue::Window open_window() { return queue_.open_window(now_); }
+
   void cancel(EventId id) { queue_.cancel(id); }
 
   /// Runs events until the queue drains or the horizon is passed.

@@ -39,6 +39,7 @@ void PeriodicTimer::schedule_next() {
     schedule_next();
     on_fire_();
   });
+  if (on_schedule_) on_schedule_(sim_.now() + delay);
 }
 
 void OneShotTimer::arm(Duration delay, std::function<void()> on_fire) {

@@ -9,6 +9,11 @@ namespace manet::sim {
 /// Periodic timer with optional uniform jitter, as required by RFC 3626
 /// (§18.3: emission intervals should be jittered to avoid synchronization).
 /// The timer stops automatically when destroyed (RAII).
+///
+/// Determinism contract: each arming draws exactly one uniform_int from the
+/// simulator RNG when jitter > 0 (and none otherwise), before `on_fire`
+/// runs; rearming happens before `on_fire` so the callback's own draws come
+/// after the rearm draw.
 class PeriodicTimer {
  public:
   /// `jitter` is the maximum amount subtracted uniformly at random from each
@@ -24,6 +29,14 @@ class PeriodicTimer {
   void stop();
   bool running() const { return running_; }
 
+  /// Observer called after every arming with the absolute fire time — how
+  /// the OLSR HELLO scheduler enrolls the upcoming emission into the
+  /// Medium's BroadcastBatch. Must not draw from the RNG or schedule
+  /// events, so installing it cannot perturb a run.
+  void set_on_schedule(std::function<void(Time fire_at)> on_schedule) {
+    on_schedule_ = std::move(on_schedule);
+  }
+
   void set_period(Duration period) { period_ = period; }
   Duration period() const { return period_; }
 
@@ -34,6 +47,7 @@ class PeriodicTimer {
   Duration period_;
   Duration jitter_;
   std::function<void()> on_fire_;
+  std::function<void(Time)> on_schedule_;
   EventId pending_{};
   bool running_ = false;
 };

@@ -169,6 +169,52 @@ TEST(EventQueue, RunNextOnEmptyThrows) {
   EXPECT_THROW(q.next_time(), std::logic_error);
 }
 
+TEST(EventQueueWindow, MatchesSequentialScheduleOrder) {
+  // A coalesced window must be observationally identical to scheduling
+  // each event individually: same pop order, ties by add order.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(Time::from_ms(25), [&] { fired.push_back(25); });
+  {
+    auto w = q.open_window(Time::from_ms(0));
+    w.add(Time::from_ms(30), [&] { fired.push_back(30); });
+    w.add(Time::from_ms(10), [&] { fired.push_back(10); });
+    w.add(Time::from_ms(10), [&] { fired.push_back(11); });
+    w.add(Time::from_ms(20), [&] { fired.push_back(20); });
+  }  // destructor closes
+  while (!q.empty()) q.run_next();
+  EXPECT_EQ(fired, (std::vector<int>{10, 11, 20, 25, 30}));
+}
+
+TEST(EventQueueWindow, RejectsAddBeforeFloor) {
+  EventQueue q;
+  auto w = q.open_window(Time::from_ms(10));
+  EXPECT_THROW(w.add(Time::from_ms(5), [] {}), std::invalid_argument);
+}
+
+TEST(EventQueueWindow, GuardsOtherOperationsWhileOpen) {
+  // The heap invariant is suspended while a window is open; any other
+  // queue operation must fail loudly instead of reordering events.
+  EventQueue q;
+  q.schedule(Time::from_ms(1), [] {});
+  auto w = q.open_window(Time::from_ms(0));
+  w.add(Time::from_ms(2), [] {});
+  EXPECT_THROW(q.schedule(Time::from_ms(3), [] {}), std::logic_error);
+  EXPECT_THROW(q.cancel(EventId{}), std::logic_error);
+  EXPECT_THROW(q.empty(), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+  EXPECT_THROW(q.run_next(), std::logic_error);
+  EXPECT_THROW(q.open_window(Time::from_ms(0)), std::logic_error);
+  w.close();
+  EXPECT_FALSE(q.empty());
+  std::size_t ran = 0;
+  while (!q.empty()) {
+    q.run_next();
+    ++ran;
+  }
+  EXPECT_EQ(ran, 2u);
+}
+
 TEST(EventQueue, CallbackMaySchedule) {
   EventQueue q;
   int count = 0;

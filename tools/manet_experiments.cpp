@@ -39,9 +39,13 @@ grid options
   --mobility LIST       comma-separated presets: static,low,high (default static)
   --rounds N            investigation rounds per replication (default 12)
 
-presets (override the grid)
+presets (override the grid; --seeds still applies)
   --sweep table-a       liar-ratio accuracy sweep (fractions 0,0.15,0.3,0.45)
   --sweep fig3          Fig. 3 liar trajectory (fractions 0.07,0.29,0.43, 25 rounds)
+  --sweep scale-256     paper-plus scale: 256 nodes, fractions 0,0.25, 6 rounds
+                        (minutes per replication -- use --threads 0 on a real host)
+  --sweep scale-1024    1024 nodes, fraction 0.25, 3 rounds (a long-haul run:
+                        tens of minutes per replication, meant for multicore hosts)
 
 execution / output
   --threads N           worker threads, 0 = hardware concurrency (default 0)
@@ -173,6 +177,17 @@ int main(int argc, char** argv) {
         // 1, 4 and 6 liars out of 14 bystanders — the paper's ratios.
         spec.attacker_fractions = {0.07, 0.29, 0.43};
         spec.rounds = 25;
+      } else if (sweep == "scale-256") {
+        // Paper-plus scale: the batched HELLO fast path and spatial index
+        // carry the control plane; each replication is still minutes of
+        // CPU (the dense cluster gives every node ~70 OLSR neighbors).
+        spec.node_counts = {256};
+        spec.attacker_fractions = {0.0, 0.25};
+        spec.rounds = 6;
+      } else if (sweep == "scale-1024") {
+        spec.node_counts = {1024};
+        spec.attacker_fractions = {0.25};
+        spec.rounds = 3;
       } else {
         std::fprintf(stderr, "error: unknown sweep '%s'\n", sweep.c_str());
         return 2;
