@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "logging/format.hpp"
+#include "olsr/link_set.hpp"
 #include "olsr/mpr_selection.hpp"
 #include "olsr/routing_table.hpp"
 #include "olsr/wire.hpp"
@@ -69,6 +70,41 @@ static void BM_RoutingRecompute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoutingRecompute)->Arg(16)->Arg(64)->Arg(256);
+
+// The dense-cluster regime of the scale presets: every node sees ~70+
+// neighbors, so the knowledge graph is near-complete and Dijkstra's
+// frontier is maximal. This is the control-plane profiling target ROADMAP
+// promotes after the medium fast paths (see micro_psim for the engine
+// side); BENCH_5.json is its recorded baseline.
+static void BM_RoutingRecomputeDense(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)), 7);
+  olsr::RoutingTable rt;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.recompute(NodeId{0}, g));
+  }
+}
+BENCHMARK(BM_RoutingRecomputeDense)->Args({256, 70})->Args({1024, 78});
+
+// Link-set scans run on every HELLO build (symmetric + asymmetric
+// enumeration) and on every HELLO receipt (is_symmetric); at >= 70
+// neighbors per node they are the hottest OLSR table walk.
+static void BM_LinkSetScan(benchmark::State& state) {
+  const auto degree = static_cast<std::uint32_t>(state.range(0));
+  olsr::LinkSet links;
+  const auto hold = sim::Duration::from_seconds(6.0);
+  for (std::uint32_t i = 0; i < degree; ++i)
+    links.on_hello(sim::Time{}, NodeId{i + 1}, /*lists_us=*/true,
+                   /*lost_us=*/false, hold);
+  const auto now = sim::Duration::from_ms(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(links.symmetric_neighbors(now));
+    benchmark::DoNotOptimize(links.asymmetric_neighbors(now));
+    benchmark::DoNotOptimize(links.is_symmetric(now, NodeId{degree / 2}));
+  }
+  state.SetItemsProcessed(state.iterations() * degree);
+}
+BENCHMARK(BM_LinkSetScan)->Arg(16)->Arg(70)->Arg(150);
 
 static void BM_ShortestPathAvoiding(benchmark::State& state) {
   const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 4, 7);

@@ -1,0 +1,205 @@
+// Micro-benchmarks of the psim sharded parallel engine against the
+// sequential Simulator.
+//
+// Two layers of gauge:
+//
+// - BM_SequentialSlab / BM_ShardedSlab: two simulated seconds (one full
+//   HELLO interval, so every node fires) of full-stack OLSR control-plane
+//   traffic (HELLO + TC floods over a multi-hop grid) at N=256, after
+//   convergence warm-up. This is the real workload the
+//   engine exists for; N=1024 full-stack slabs are minutes of CPU per
+//   fixture (the scale-1024 regime, see docs/BENCHMARKING.md) and live in
+//   the manet_experiments presets, not in a micro gauge.
+// - BM_SequentialWindows / BM_ShardedWindows: synthetic window throughput
+//   at N in {256, 1024} — every node re-arms a periodic self event and
+//   fires a lookahead-distance delivery to a spatial neighbor, so the
+//   gauge isolates the engine machinery (queues, windows, barriers,
+//   mailboxes, per-node streams) from OLSR parsing.
+//
+// The sharded runs report the serial-fraction gauges:
+//   windows_per_s — barrier frequency (each window is one serial sync),
+//   cross_frac    — fraction of events that crossed a shard boundary,
+//   imbalance     — busiest lane events / mean lane events (1.0 = even).
+// On this repo's 1-CPU reference container no wall-clock speedup is
+// measurable (docs/BENCHMARKING.md): the committed numbers record the
+// *overhead* of sharding at threads=1 — the price of lanes + barriers +
+// mailboxes — and the gauges that bound what a multicore host can extract.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "psim/engine.hpp"
+#include "scenario/network.hpp"
+#include "sim/simulator.hpp"
+
+using namespace manet;
+
+namespace {
+
+/// 150 m spacing at 250 m range: a genuinely multi-hop grid (MPRs, TC
+/// floods, forwarding) — the control-plane shape of the scale presets.
+std::unique_ptr<scenario::Network> make_network(std::size_t n,
+                                                sim::EngineKind kind,
+                                                unsigned threads,
+                                                unsigned shards) {
+  scenario::Network::Config nc;
+  nc.seed = 42;
+  nc.radio.range_m = 250.0;
+  nc.positions = net::grid_layout(n, 150.0);
+  nc.engine = kind;
+  nc.engine_threads = threads;
+  nc.shards = shards;
+  auto network = std::make_unique<scenario::Network>(std::move(nc));
+  network->start_all();
+  // Warm up past link sensing / MPR churn so the slab is steady state.
+  network->run_for(sim::Duration::from_seconds(6.0));
+  return network;
+}
+
+constexpr auto kLookahead = sim::Duration::from_us(500);  // radio base delay
+constexpr auto kRearm = sim::Duration::from_ms(10);
+
+void report_sharded_counters(benchmark::State& state, const psim::Engine& eng,
+                             const psim::EngineStats& warm) {
+  const auto stats = eng.stats();
+  const auto events = stats.executed_events - warm.executed_events;
+  const auto windows = stats.windows - warm.windows;
+  const auto crossed = stats.cross_shard_events - warm.cross_shard_events;
+  // Each full-stack iteration simulates 2 s, each synthetic iteration 1 s;
+  // report barriers per *iteration* — the comparable serial-sync count.
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["windows_per_iter"] =
+      iters > 0 ? static_cast<double>(windows) / iters : 0.0;
+  state.counters["cross_frac"] =
+      events > 0 ? static_cast<double>(crossed) / static_cast<double>(events)
+                 : 0.0;
+  // Imbalance over the measured phase only: diff each lane against its
+  // warm-up snapshot, so convergence traffic cannot skew the gauge.
+  std::uint64_t max_lane = 0;
+  for (std::size_t lane = 0; lane < stats.lane_events.size(); ++lane) {
+    const std::uint64_t before =
+        lane < warm.lane_events.size() ? warm.lane_events[lane] : 0;
+    max_lane = std::max(max_lane, stats.lane_events[lane] - before);
+  }
+  const double mean_lane =
+      static_cast<double>(events) / static_cast<double>(eng.shards());
+  state.counters["imbalance"] =
+      mean_lane > 0 ? static_cast<double>(max_lane) / mean_lane : 0.0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+
+}  // namespace
+
+// ------------------------------------------------ full-stack slabs (N=256)
+
+static void BM_SequentialSlab(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto network = make_network(n, sim::EngineKind::kSequential, 0, 0);
+  const auto warm = network->sim().executed_events();
+  for (auto _ : state)
+    network->run_for(sim::Duration::from_seconds(2.0));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(network->sim().executed_events() - warm));
+}
+BENCHMARK(BM_SequentialSlab)->Arg(256)->Unit(benchmark::kMillisecond);
+
+static void BM_ShardedSlab(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto shards = static_cast<unsigned>(state.range(2));
+  auto network = make_network(n, sim::EngineKind::kSharded, threads, shards);
+  const auto warm = network->sharded()->stats();
+  for (auto _ : state)
+    network->run_for(sim::Duration::from_seconds(2.0));
+  report_sharded_counters(state, *network->sharded(), warm);
+}
+BENCHMARK(BM_ShardedSlab)
+    ->Args({256, 1, 2})
+    ->Args({256, 1, 4})
+    ->Unit(benchmark::kMillisecond);
+
+// --------------------------------- synthetic window throughput (N=256/1024)
+
+// Every node re-arms itself every kRearm and fires one lookahead-distance
+// delivery to its east neighbor — guaranteed cross-stripe traffic at every
+// shard boundary, with zero protocol cost on top of the engine machinery.
+
+static void BM_SequentialWindows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim{42};
+  std::uint64_t fired = 0;
+  // Self-contained recursive event: deliver + re-arm, like the engine-side
+  // twin below (the delivery itself is a no-op callback).
+  struct Node {
+    sim::Simulator& sim;
+    std::uint64_t& fired;
+    void fire() {
+      ++fired;
+      sim.schedule(kLookahead, [f = &fired] { ++*f; });
+      sim.schedule(kRearm, [this] { fire(); });
+    }
+  };
+  std::vector<Node> nodes(n, Node{sim, fired});
+  for (auto& node : nodes) node.fire();
+  for (auto _ : state) sim.run_until(sim.now() + sim::Duration::from_seconds(1.0));
+  state.SetItemsProcessed(static_cast<std::int64_t>(sim.executed_events()));
+}
+BENCHMARK(BM_SequentialWindows)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_ShardedWindows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const auto shards = static_cast<unsigned>(state.range(2));
+  const auto layout = net::grid_layout(n, 150.0);
+
+  psim::Engine::Config pc;
+  pc.seed = 42;
+  pc.threads = threads;
+  pc.shards = shards;
+  pc.lookahead = kLookahead;
+  pc.cell_size = 250.0;
+  psim::Engine engine{pc, layout};
+
+  std::vector<std::uint64_t> fired(n, 0);
+  // Node i's periodic event: a no-op delivery to node (i+1) mod n — its
+  // east neighbor in stripe order, so stripe-boundary nodes produce real
+  // mailbox traffic — then re-arm.
+  struct Node {
+    psim::Engine& engine;
+    std::uint64_t* fired;
+    std::uint32_t self;
+    std::uint32_t peer;
+    void fire() {
+      ++fired[self];
+      engine.schedule_delivery(net::NodeId{peer},
+                               engine.shard_engine(net::NodeId{self}).now() +
+                                   kLookahead,
+                               [f = &fired[peer]] { ++*f; });
+      engine.shard_engine(net::NodeId{self})
+          .schedule(kRearm, [this] { fire(); });
+    }
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    nodes.push_back(Node{engine, fired.data(), i,
+                         static_cast<std::uint32_t>((i + 1) % n)});
+  for (std::uint32_t i = 0; i < n; ++i)
+    engine.run_as(net::NodeId{i}, [&] { nodes[i].fire(); });
+
+  const auto warm = engine.stats();
+  for (auto _ : state)
+    engine.run_until(engine.now() + sim::Duration::from_seconds(1.0));
+  report_sharded_counters(state, engine, warm);
+}
+BENCHMARK(BM_ShardedWindows)
+    ->Args({256, 1, 2})
+    ->Args({256, 1, 4})
+    ->Args({1024, 1, 4})
+    ->Args({1024, 1, 8})
+    ->Unit(benchmark::kMillisecond);

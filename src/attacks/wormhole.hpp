@@ -6,7 +6,7 @@
 
 #include "olsr/agent.hpp"
 #include "olsr/hooks.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace manet::attacks {
 
@@ -43,7 +43,7 @@ class WormholeEndpoint final : public olsr::AgentHooks {
  public:
   enum class Role { kCapture, kReplay };
 
-  WormholeEndpoint(sim::Simulator& sim, std::shared_ptr<WormholeChannel> chan,
+  WormholeEndpoint(sim::Engine& sim, std::shared_ptr<WormholeChannel> chan,
                    Role role)
       : sim_{sim}, channel_{std::move(chan)}, role_{role} {}
 
@@ -57,7 +57,7 @@ class WormholeEndpoint final : public olsr::AgentHooks {
   std::uint64_t replayed_count() const { return replayed_; }
 
  private:
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   std::shared_ptr<WormholeChannel> channel_;
   Role role_;
   olsr::Agent* agent_ = nullptr;

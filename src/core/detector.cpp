@@ -27,7 +27,7 @@ std::string to_string(EvidenceTag tag) {
   return "?";
 }
 
-Detector::Detector(sim::Simulator& sim, olsr::Agent& agent,
+Detector::Detector(sim::Engine& sim, olsr::Agent& agent,
                    InvestigationManager& investigations, DetectorConfig config)
     : sim_{sim},
       agent_{agent},

@@ -81,7 +81,7 @@ class Detector {
   /// `investigations` is the node's investigation endpoint (shared so that
   /// nodes answer queries whether or not they run their own detector); it
   /// must outlive the Detector.
-  Detector(sim::Simulator& sim, olsr::Agent& agent,
+  Detector(sim::Engine& sim, olsr::Agent& agent,
            InvestigationManager& investigations, DetectorConfig config = {});
 
   void start();
@@ -125,7 +125,7 @@ class Detector {
   void check_forward_timeouts(std::vector<logging::LogRecord>& synthesized);
   bool in_cooldown(NodeId suspect, NodeId subject) const;
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   olsr::Agent& agent_;
   DetectorConfig config_;
   trust::TrustStore trust_;

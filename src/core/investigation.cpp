@@ -77,7 +77,7 @@ bool is_query(const std::vector<std::uint8_t>& bytes) {
   return !bytes.empty() && bytes[0] == kQueryTag;
 }
 
-InvestigationManager::InvestigationManager(sim::Simulator& sim,
+InvestigationManager::InvestigationManager(sim::Engine& sim,
                                            olsr::Agent& agent,
                                            InvestigationConfig config,
                                            AnswerPolicy policy)

@@ -7,7 +7,6 @@
 
 #include "olsr/agent.hpp"
 #include "sim/rng.hpp"
-#include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 
 namespace manet::core {
@@ -98,7 +97,7 @@ struct InvestigationStats {
 /// state/audit log. Installs itself as the agent's DATA handler.
 class InvestigationManager {
  public:
-  InvestigationManager(sim::Simulator& sim, olsr::Agent& agent,
+  InvestigationManager(sim::Engine& sim, olsr::Agent& agent,
                        InvestigationConfig config = {},
                        AnswerPolicy policy = AnswerPolicy::kHonest);
 
@@ -146,7 +145,7 @@ class InvestigationManager {
   void on_timeout(std::uint32_t id);
   void finalize(std::uint32_t id);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   olsr::Agent& agent_;
   InvestigationConfig config_;
   AnswerPolicy policy_;

@@ -86,7 +86,7 @@ bool is_recommendation_request(const std::vector<std::uint8_t>& bytes) {
   return !bytes.empty() && bytes[0] == kReqTag;
 }
 
-RecommendationExchange::RecommendationExchange(sim::Simulator& sim,
+RecommendationExchange::RecommendationExchange(sim::Engine& sim,
                                                olsr::Agent& agent,
                                                trust::TrustStore& store)
     : sim_{sim}, agent_{agent}, store_{store} {}

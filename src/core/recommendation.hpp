@@ -45,7 +45,7 @@ class RecommendationExchange {
  public:
   /// `store` is the local trust store (answers are served from it, and
   /// merged bootstraps are written into it).
-  RecommendationExchange(sim::Simulator& sim, olsr::Agent& agent,
+  RecommendationExchange(sim::Engine& sim, olsr::Agent& agent,
                          trust::TrustStore& store);
 
   using Done = std::function<void(const std::map<net::NodeId, double>&)>;
@@ -74,7 +74,7 @@ class RecommendationExchange {
 
   void finalize(std::uint32_t id);
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   olsr::Agent& agent_;
   trust::TrustStore& store_;
   std::uint32_t next_id_ = 1;

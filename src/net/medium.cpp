@@ -3,16 +3,73 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 namespace manet::net {
 
-Medium::Medium(sim::Simulator& sim, RadioConfig config)
+Medium::Medium(sim::Engine& sim, RadioConfig config)
     : sim_{sim},
+      // The window fast path needs the concrete sequential simulator (psim
+      // shard lanes schedule per-receiver through the router instead).
+      seq_sim_{dynamic_cast<sim::Simulator*>(&sim)},
       config_{config},
       // The 3x3 neighborhood guarantee needs cell size >= range; degenerate
       // ranges still need a positive cell to index coincident hosts.
-      grid_{std::max(config.range_m, 1e-6)} {}
+      grid_{std::max(config.range_m, 1e-6)},
+      receiver_scratch_(1),
+      stats_shards_(1),
+      snapshots_(1),
+      batch_stats_shards_(1) {}
+
+void Medium::set_shard_router(ShardRouter* router) {
+  if (router == nullptr) {
+    router_ = nullptr;
+    return;
+  }
+  if (config_.collision_window > sim::Duration{})
+    throw std::invalid_argument{
+        "sharded engine does not support the collision model: collision "
+        "bookkeeping mutates receiver state at transmit time, which would "
+        "race across shards"};
+  router_ = router;
+  const unsigned n = std::max(1u, router->shard_count());
+  receiver_scratch_.assign(n, {});
+  stats_shards_.assign(n, MediumStats{});
+  snapshots_.assign(n, {});
+  batch_stats_shards_.assign(n, BatchStats{});
+}
+
+const MediumStats& Medium::stats() const {
+  if (stats_shards_.size() == 1) return stats_shards_[0];
+  stats_fold_ = MediumStats{};
+  for (const auto& s : stats_shards_) {
+    stats_fold_.frames_sent += s.frames_sent;
+    stats_fold_.deliveries += s.deliveries;
+    stats_fold_.losses += s.losses;
+    stats_fold_.collisions += s.collisions;
+    stats_fold_.bytes_sent += s.bytes_sent;
+  }
+  return stats_fold_;
+}
+
+const BatchStats& Medium::batch_stats() const {
+  if (batch_stats_shards_.size() == 1) return batch_stats_shards_[0];
+  batch_stats_fold_ = BatchStats{};
+  for (const auto& s : batch_stats_shards_) {
+    batch_stats_fold_.enrolled += s.enrolled;
+    batch_stats_fold_.batched_broadcasts += s.batched_broadcasts;
+    batch_stats_fold_.snapshot_builds += s.snapshot_builds;
+    batch_stats_fold_.snapshot_hits += s.snapshot_hits;
+  }
+  return batch_stats_fold_;
+}
+
+void Medium::reset_stats() {
+  std::fill(stats_shards_.begin(), stats_shards_.end(), MediumStats{});
+  std::fill(batch_stats_shards_.begin(), batch_stats_shards_.end(),
+            BatchStats{});
+}
 
 void Medium::attach(NodeId id, Position pos, ReceiveHandler handler) {
   if (index_.contains(id))
@@ -101,7 +158,7 @@ void Medium::unicast(NodeId sender, NodeId next_hop, PayloadPtr payload) {
 }
 
 void Medium::BroadcastBatch::enroll(NodeId /*sender*/) {
-  ++medium_.batch_stats_.enrolled;
+  ++medium_.batch_stats_slot().enrolled;
 }
 
 void Medium::BroadcastBatch::broadcast(NodeId sender, Bytes payload) {
@@ -114,9 +171,9 @@ void Medium::BroadcastBatch::broadcast(NodeId sender, PayloadPtr payload) {
 }
 
 Medium::CellSnapshot& Medium::snapshot_for(SpatialGrid::CellKey cell) {
-  CellSnapshot& snap = snapshots_[cell];
+  CellSnapshot& snap = snapshots_[shard_index()][cell];
   if (snap.generation == topo_generation_) {
-    ++batch_stats_.snapshot_hits;
+    ++batch_stats_slot().snapshot_hits;
     return snap;
   }
   // One gather + one ascending-NodeId sort per occupied cell per topology
@@ -133,18 +190,22 @@ Medium::CellSnapshot& Medium::snapshot_for(SpatialGrid::CellKey cell) {
   std::sort(snap.candidates.begin(), snap.candidates.end(),
             [](const CellSnapshot::Candidate& a,
                const CellSnapshot::Candidate& b) { return a.id < b.id; });
-  ++batch_stats_.snapshot_builds;
+  ++batch_stats_slot().snapshot_builds;
   return snap;
 }
 
 void Medium::transmit_batched(NodeId sender, PayloadPtr payload) {
   const Host& tx = host(sender);
   if (!tx.up) return;
-  ++stats_.frames_sent;
-  stats_.bytes_sent += payload->size();
-  ++batch_stats_.batched_broadcasts;
+  sim::Engine& eng = engine();
+  {
+    MediumStats& st = stats_slot();
+    ++st.frames_sent;
+    st.bytes_sent += payload->size();
+  }
+  ++batch_stats_slot().batched_broadcasts;
 
-  const Packet packet{sender, kInvalidNode, std::move(payload), sim_.now()};
+  const Packet packet{sender, kInvalidNode, std::move(payload), eng.now()};
   const Position origin = tx.pos;
   const CellSnapshot& snap = snapshot_for(grid_.cell_of(origin));
 
@@ -163,10 +224,14 @@ void Medium::transmit_batched(NodeId sender, PayloadPtr payload) {
 
   // The snapshot is already ascending-NodeId and up-filtered; the exact
   // distance test and the sender exclusion preserve that order, so the RNG
-  // draws and delivery order match the per-sender transmit() exactly. The
-  // deliveries are added through one coalesced-insertion window: each event
-  // is built in place in the queue's heap storage, sifted on close.
-  DeliveryWindow window = sim_.open_window();
+  // draws and delivery order match the per-sender transmit() exactly.
+  // Sequentially the deliveries are added through one coalesced-insertion
+  // window (each event built in place in the queue's heap storage, sifted
+  // on close); a shard router schedules per receiver instead, because the
+  // receivers of one broadcast may live in different shards' queues.
+  std::optional<DeliveryWindow> window;
+  if (seq_sim_ != nullptr && router_ == nullptr)
+    window.emplace(seq_sim_->open_window());
   for (const auto& c : snap.candidates) {
     if (c.id == sender) continue;
     const double dx = c.pos.x - origin.x;
@@ -174,18 +239,22 @@ void Medium::transmit_batched(NodeId sender, PayloadPtr payload) {
     const double dd = dx * dx + dy * dy;
     if (dd > rr_out) continue;
     if (dd >= rr_in && distance(origin, c.pos) > config_.range_m) continue;
-    deliver_to(hosts_[c.slot], packet, &window);
+    deliver_to(hosts_[c.slot], packet, eng, window ? &*window : nullptr);
   }
-  window.close();
+  if (window) window->close();
 }
 
 void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
   const Host& tx = host(sender);
   if (!tx.up) return;
-  ++stats_.frames_sent;
-  stats_.bytes_sent += payload->size();
+  sim::Engine& eng = engine();
+  {
+    MediumStats& st = stats_slot();
+    ++st.frames_sent;
+    st.bytes_sent += payload->size();
+  }
 
-  const Packet packet{sender, link_dest, std::move(payload), sim_.now()};
+  const Packet packet{sender, link_dest, std::move(payload), eng.now()};
 
   if (link_dest.valid()) {
     // Unicast fast path: at most one receiver, no scan at all.
@@ -194,7 +263,7 @@ void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
     if (it == index_.end()) return;
     Host& rx = hosts_[it->second];
     if (!rx.up || distance(tx.pos, rx.pos) > config_.range_m) return;
-    deliver_to(rx, packet);
+    deliver_to(rx, packet, eng);
     return;
   }
 
@@ -202,43 +271,47 @@ void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
   // then deliver in ascending NodeId order so the RNG draw sequence matches
   // the full-scan implementation this replaced.
   const Position origin = tx.pos;
-  receiver_scratch_.clear();
+  auto& scratch = receiver_scratch_[shard_index()];
+  scratch.clear();
   grid_.for_each_candidate(origin, [&](std::uint32_t slot) {
     const Host& rx = hosts_[slot];
     if (rx.id == sender || !rx.up) return;
     if (distance(origin, rx.pos) > config_.range_m) return;
-    receiver_scratch_.push_back(slot);
+    scratch.push_back(slot);
   });
-  std::sort(receiver_scratch_.begin(), receiver_scratch_.end(),
+  std::sort(scratch.begin(), scratch.end(),
             [this](std::uint32_t a, std::uint32_t b) {
               return hosts_[a].id < hosts_[b].id;
             });
-  for (const auto slot : receiver_scratch_) deliver_to(hosts_[slot], packet);
+  for (const auto slot : scratch) deliver_to(hosts_[slot], packet, eng);
 }
 
-void Medium::deliver_to(Host& rx, const Packet& packet,
+void Medium::deliver_to(Host& rx, const Packet& packet, sim::Engine& eng,
                         DeliveryWindow* window) {
-  // Independent per-delivery loss.
-  if (sim_.rng().bernoulli(config_.loss_probability)) {
-    ++stats_.losses;
+  // Independent per-delivery loss. Under psim, eng.rng() is the sending
+  // node's private stream, so the draw sequence is invariant to shard and
+  // worker-thread counts.
+  if (eng.rng().bernoulli(config_.loss_probability)) {
+    ++stats_slot().losses;
     return;
   }
 
   sim::Duration delay = config_.base_delay;
   if (config_.delay_jitter > sim::Duration{}) {
     delay += sim::Duration::from_us(
-        sim_.rng().uniform_int(0, config_.delay_jitter.us()));
+        eng.rng().uniform_int(0, config_.delay_jitter.us()));
   }
-  const sim::Time arrival = sim_.now() + delay;
+  const sim::Time arrival = eng.now() + delay;
 
   // The corruption flag is shared with later overlapping arrivals; only
-  // allocated when the collision model is on.
+  // allocated when the collision model is on (set_shard_router rejects the
+  // collision model, so this whole branch is sequential-only).
   std::shared_ptr<bool> corrupted;
   if (config_.collision_window > sim::Duration{}) {
     corrupted = std::make_shared<bool>(false);
     // Purge stale entries, then collide with any overlapping arrival.
     std::erase_if(rx.arrivals, [&](const auto& a) {
-      return a.first + config_.collision_window < sim_.now();
+      return a.first + config_.collision_window < eng.now();
     });
     for (auto& [at, flag] : rx.arrivals) {
       const auto gap = arrival >= at ? arrival - at : at - arrival;
@@ -259,35 +332,46 @@ void Medium::deliver_to(Host& rx, const Packet& packet,
       std::erase_if(h.arrivals,
                     [&](const auto& a) { return a.first <= arrival; });
       if (*corrupted) {
-        ++stats_.collisions;
+        ++stats_slot().collisions;
         return;
       }
-      ++stats_.deliveries;
+      ++stats_slot().deliveries;
       if (h.handler) h.handler(packet);
     };
     if (window != nullptr) {
       window->add(arrival, std::move(on_arrival));
     } else {
-      sim_.schedule_at(arrival, std::move(on_arrival));
+      eng.schedule_at(arrival, std::move(on_arrival));
     }
     return;
   }
 
+  // A cross-shard arrival carries its own deep copy of the payload: the
+  // intrusive PayloadPtr refcount is non-atomic (thread-confined by
+  // design), so a frame handed to another shard's mailbox must not share
+  // the sender-side refcount. Local and sequential deliveries keep the
+  // zero-copy sharing.
+  Packet to_deliver = packet;
+  if (router_ != nullptr && !router_->is_local(rx.id))
+    to_deliver.data = make_payload(Bytes{packet.payload()});
+
   // No collision model: `arrivals` stays empty and `corrupted` stays null,
   // so the callback needs neither — a smaller capture makes every queue
   // move of the entry cheaper on the hottest path.
-  auto on_arrival = [this, receiver = rx.id, packet] {
+  auto on_arrival = [this, receiver = rx.id, packet = std::move(to_deliver)] {
     const auto it = index_.find(receiver);
     if (it == index_.end()) return;
     Host& h = hosts_[it->second];
     if (!h.up) return;
-    ++stats_.deliveries;
+    ++stats_slot().deliveries;
     if (h.handler) h.handler(packet);
   };
   if (window != nullptr) {
     window->add(arrival, std::move(on_arrival));
+  } else if (router_ != nullptr) {
+    router_->schedule_delivery(rx.id, arrival, std::move(on_arrival));
   } else {
-    sim_.schedule_at(arrival, std::move(on_arrival));
+    eng.schedule_at(arrival, std::move(on_arrival));
   }
 }
 

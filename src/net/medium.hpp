@@ -8,6 +8,7 @@
 
 #include "net/packet.hpp"
 #include "net/position.hpp"
+#include "net/shard_router.hpp"
 #include "net/spatial_grid.hpp"
 #include "sim/simulator.hpp"
 
@@ -104,7 +105,15 @@ class Medium {
     Medium& medium_;
   };
 
-  Medium(sim::Simulator& sim, RadioConfig config);
+  Medium(sim::Engine& sim, RadioConfig config);
+
+  /// Installs the psim shard-awareness hook (see net/shard_router.hpp) and
+  /// sizes the per-shard stat/scratch/snapshot slots. Must be called before
+  /// any traffic flows; rejects radio configs the sharded engine cannot
+  /// honor (the collision model needs cross-shard receiver bookkeeping at
+  /// transmit time, which would race). Passing nullptr restores the
+  /// sequential behavior.
+  void set_shard_router(ShardRouter* router);
 
   void attach(NodeId id, Position pos, ReceiveHandler handler = {});
   void detach(NodeId id);
@@ -134,18 +143,20 @@ class Medium {
   /// only; protocol code must learn neighbors via HELLO exchange.
   std::vector<NodeId> neighbors_in_range(NodeId id) const;
 
-  /// The shared batched-round handle (one per Medium; agents enroll their
-  /// jittered HELLO emissions and broadcast through it).
+  /// The shared batched-round handle (one per Medium). Despite the name —
+  /// kept for source compatibility with the original HELLO-only fast path —
+  /// agents now route every flood through it that clusters in time: jittered
+  /// HELLO emissions, TC emissions, and MPR re-broadcasts of forwarded
+  /// messages inside one duplicate window (Agent::Config::batched_floods).
   BroadcastBatch& hello_batch() { return batch_; }
 
-  const MediumStats& stats() const { return stats_; }
+  /// Folded traffic counters (sum over the per-shard slots; the sequential
+  /// engine has exactly one slot, so this is the plain counter block).
+  const MediumStats& stats() const;
   /// Clears both the frame counters and the batch gauges, so a post-warm-up
   /// reset leaves every stat block measuring the same phase.
-  void reset_stats() {
-    stats_ = MediumStats{};
-    batch_stats_ = BatchStats{};
-  }
-  const BatchStats& batch_stats() const { return batch_stats_; }
+  void reset_stats();
+  const BatchStats& batch_stats() const;
 
   const RadioConfig& config() const { return config_; }
 
@@ -177,10 +188,12 @@ class Medium {
 
   void transmit(NodeId sender, NodeId link_dest, PayloadPtr payload);
   void transmit_batched(NodeId sender, PayloadPtr payload);
-  /// Draws loss + jitter for one receiver and either schedules the delivery
-  /// (window == nullptr) or adds it to the caller's coalesced-insertion
-  /// window. Identical draws and event order either way.
-  void deliver_to(Host& rx, const Packet& packet,
+  /// Draws loss + jitter for one receiver (from `eng`, the executing
+  /// context) and either schedules the delivery (window == nullptr), adds
+  /// it to the caller's coalesced-insertion window, or — with a shard
+  /// router installed — hands it to the router in the receiver's node
+  /// context. Identical draws and event order for the first two.
+  void deliver_to(Host& rx, const Packet& packet, sim::Engine& eng,
                   DeliveryWindow* window = nullptr);
   CellSnapshot& snapshot_for(SpatialGrid::CellKey cell);
   /// Any mutation of positions/occupancy/radio state: stale all snapshots.
@@ -188,18 +201,40 @@ class Medium {
   Host& host(NodeId id);
   const Host& host(NodeId id) const;
 
-  sim::Simulator& sim_;
+  /// Execution context of the current call: the shard engine under psim,
+  /// else the sequential simulator the Medium was built on.
+  sim::Engine& engine() const {
+    return router_ != nullptr ? router_->current_engine() : sim_;
+  }
+  unsigned shard_index() const {
+    return router_ != nullptr ? router_->current_shard() : 0;
+  }
+  MediumStats& stats_slot() { return stats_shards_[shard_index()]; }
+  BatchStats& batch_stats_slot() { return batch_stats_shards_[shard_index()]; }
+
+  sim::Engine& sim_;
+  /// Non-null when `sim_` is the sequential Simulator: enables the
+  /// coalesced-insertion window fast path (psim shard lanes schedule
+  /// per-receiver through the router instead).
+  sim::Simulator* seq_sim_ = nullptr;
+  ShardRouter* router_ = nullptr;
   RadioConfig config_;
   std::vector<Host> hosts_;
   std::unordered_map<NodeId, std::uint32_t> index_;
   SpatialGrid grid_;
-  std::vector<std::uint32_t> receiver_scratch_;  ///< reused per transmit
-  MediumStats stats_;
+  /// Per-shard reused transmit scratch (one slot sequentially).
+  std::vector<std::vector<std::uint32_t>> receiver_scratch_;
+  /// Per-shard traffic counters, folded on demand by stats().
+  std::vector<MediumStats> stats_shards_;
+  mutable MediumStats stats_fold_;
 
   BroadcastBatch batch_{*this};
   std::uint64_t topo_generation_ = 1;
-  std::unordered_map<SpatialGrid::CellKey, CellSnapshot> snapshots_;
-  BatchStats batch_stats_;
+  /// Per-shard broadcast-round snapshot caches: workers never share one.
+  std::vector<std::unordered_map<SpatialGrid::CellKey, CellSnapshot>>
+      snapshots_;
+  std::vector<BatchStats> batch_stats_shards_;
+  mutable BatchStats batch_stats_fold_;
 };
 
 }  // namespace manet::net

@@ -42,7 +42,7 @@ Position RandomWaypoint::step(sim::Duration dt, sim::Rng& rng) {
   return pos_;
 }
 
-MobilityManager::MobilityManager(sim::Simulator& sim, Medium& medium,
+MobilityManager::MobilityManager(sim::Engine& sim, Medium& medium,
                                  sim::Duration tick)
     : sim_{sim},
       medium_{medium},

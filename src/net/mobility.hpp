@@ -62,7 +62,7 @@ class RandomWaypoint final : public MobilityModel {
 /// positions into the medium.
 class MobilityManager {
  public:
-  MobilityManager(sim::Simulator& sim, Medium& medium,
+  MobilityManager(sim::Engine& sim, Medium& medium,
                   sim::Duration tick = sim::Duration::from_ms(250));
 
   void set_model(NodeId id, std::unique_ptr<MobilityModel> model);
@@ -72,7 +72,7 @@ class MobilityManager {
  private:
   void tick();
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   Medium& medium_;
   sim::Duration tick_interval_;
   std::map<NodeId, std::unique_ptr<MobilityModel>> models_;

@@ -13,7 +13,7 @@ std::vector<NodeId> set_to_vec(const std::set<NodeId>& s) {
 
 }  // namespace
 
-Agent::Agent(sim::Simulator& sim, net::Medium& medium, NodeId id,
+Agent::Agent(sim::Engine& sim, net::Medium& medium, NodeId id,
              Config config, AgentHooks* hooks)
     : sim_{sim},
       medium_{medium},
@@ -38,6 +38,13 @@ Agent::Agent(sim::Simulator& sim, net::Medium& medium, NodeId id,
     // upcoming window. Enrollment is pure bookkeeping (no RNG draws, no
     // events), so it cannot perturb the trace.
     hello_timer_.set_on_schedule(
+        [this](sim::Time) { medium_.hello_batch().enroll(id_); });
+  }
+  if (config_.batched_floods) {
+    // TC emissions cluster inside the same kind of jitter window as HELLOs
+    // (tc_interval - U[0, jitter] per MPR), so they join the shared
+    // per-cell snapshot path the same way.
+    tc_timer_.set_on_schedule(
         [this](sim::Time) { medium_.hello_batch().enroll(id_); });
   }
 }
@@ -185,7 +192,7 @@ void Agent::emit_tc() {
   ++stats_.tc_sent;
   duplicates_.record(sim_.now(), id_, m.header.seq_num, true,
                      config_.dup_hold);
-  broadcast_message(std::move(m));
+  broadcast_message(std::move(m), config_.batched_floods);
 }
 
 void Agent::emit_mid() {
@@ -490,10 +497,14 @@ void Agent::maybe_forward(const Message& m, NodeId transmitter) {
       .with("seq", static_cast<std::int64_t>(m.header.seq_num));
   log_.append(std::move(rec));
 
-  // Small forwarding jitter (§3.4.1 note).
+  // Small forwarding jitter (§3.4.1 note). A TC flooding storm is every
+  // MPR re-broadcasting within one duplicate window: with batched_floods
+  // the relays enroll here (arming time, no draws) and emit through the
+  // shared per-cell snapshots, exactly like a HELLO round.
+  if (config_.batched_floods) medium_.hello_batch().enroll(id_);
   const auto delay = sim::Duration::from_us(sim_.rng().uniform_int(0, 100'000));
   sim_.schedule(delay, [this, copy = std::move(copy)]() mutable {
-    if (running_) broadcast_message(std::move(copy));
+    if (running_) broadcast_message(std::move(copy), config_.batched_floods);
   });
 }
 

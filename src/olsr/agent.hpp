@@ -16,7 +16,7 @@
 #include "olsr/neighbor_table.hpp"
 #include "olsr/routing_table.hpp"
 #include "olsr/topology_set.hpp"
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 #include "sim/timer.hpp"
 
 namespace manet::olsr {
@@ -66,6 +66,13 @@ class Agent {
     /// path (tests/medium_batch_test.cpp pins this); off reproduces the
     /// unbatched PR-2 behavior exactly, draw for draw.
     bool batched_hello = true;
+    /// Same fast path for the TC flood: jittered TC emissions and the MPR
+    /// re-broadcasts of forwarded messages (every relay firing within one
+    /// duplicate window sees the same topology) share the per-cell
+    /// snapshots too. Trace-equivalent like batched_hello — the batch path
+    /// is observationally identical to Medium::broadcast, and enrollment
+    /// never draws or schedules.
+    bool batched_floods = true;
     std::size_t log_capacity = 100'000;
   };
 
@@ -73,7 +80,7 @@ class Agent {
   /// relay trace (needed by responders answering over the reverse path).
   using DataHandler = std::function<void(const DataMessage& message)>;
 
-  Agent(sim::Simulator& sim, net::Medium& medium, NodeId id, Config config,
+  Agent(sim::Engine& sim, net::Medium& medium, NodeId id, Config config,
         AgentHooks* hooks = nullptr);
   ~Agent();
 
@@ -148,7 +155,7 @@ class Agent {
 
   logging::LogRecord make_record(std::string event) const;
 
-  sim::Simulator& sim_;
+  sim::Engine& sim_;
   net::Medium& medium_;
   NodeId id_;
   Config config_;

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/position.hpp"
+#include "net/shard_router.hpp"
+#include "psim/shard_map.hpp"
+#include "psim/shard_sim.hpp"
+
+namespace manet::psim {
+
+/// Aggregate gauges of a sharded run, exposed for bench/micro_psim.cpp and
+/// the psim tests. `max_shard_events / executed_events * shards` reads as a
+/// load-imbalance factor (1.0 = perfectly balanced); together with
+/// `windows` (each window is a serial barrier) it bounds the serial
+/// fraction of the run on a real multicore host.
+struct EngineStats {
+  std::uint64_t windows = 0;             ///< barrier-synchronized windows
+  std::uint64_t executed_events = 0;     ///< sum over all lanes
+  std::uint64_t cross_shard_events = 0;  ///< deliveries drained from mailboxes
+  std::uint64_t max_shard_events = 0;    ///< events of the busiest lane
+  /// Per-lane executed-event counts, in shard order — lets a caller diff
+  /// two snapshots to compute load imbalance over just the measured phase
+  /// (a warm-up's balance would otherwise bleed into the gauge).
+  std::vector<std::uint64_t> lane_events;
+};
+
+/// Conservative, barrier-synchronized parallel discrete-event engine
+/// (ROSS-style conservative lookahead, specialized to this simulator's
+/// radio workload).
+///
+/// The arena is cut into spatial shards (ShardMap over the same uniform
+/// cells as net::SpatialGrid); every shard is a ShardSim lane with its own
+/// clock, origin-keyed queue and per-node RNG streams. Execution proceeds
+/// in windows: with L = the lookahead (the radio's base propagation delay,
+/// the minimum latency of any cross-node interaction), all events in
+/// [T, T+L) — T being the earliest pending event anywhere — are processed
+/// in parallel, one worker thread per lane at most. Any event in that
+/// window can only affect another node at time >= T+L, so lanes never need
+/// each other's state mid-window; cross-shard frame deliveries go into
+/// per-(source, destination) mailboxes and are drained at the barrier,
+/// sorted by the same global (time, origin node, origin seq) key the lane
+/// queues order by.
+///
+/// Determinism contract (pinned by tests/psim_test.cpp and the committed
+/// sharded golden fixture): for a fixed scenario seed, the per-round CSV
+/// and the final trust/conviction state are byte-identical for any worker
+/// thread count and any shard count. Thread-count invariance holds because
+/// lanes share no mutable state inside a window; shard-count invariance
+/// holds because every random draw comes from a per-node stream and every
+/// tie is broken by the per-node origin key, so nothing observable depends
+/// on which nodes happen to share a lane. The sharded engine's draw
+/// sequence differs from the sequential Simulator's single root stream, so
+/// the two engines are behaviourally equivalent, not byte-identical.
+///
+/// Scope (v1): static topologies without the collision model — mobility
+/// mutates positions mid-window and collision bookkeeping mutates receiver
+/// state at transmit time, both of which would race across lanes;
+/// scenario::Network rejects those combinations up front.
+class Engine final : public net::ShardRouter {
+ public:
+  struct Config {
+    std::uint64_t seed = 1;
+    /// Worker threads; 0 = hardware concurrency (capped at the shard
+    /// count — more workers than lanes cannot help).
+    unsigned threads = 0;
+    /// Spatial shards; 0 = auto from the node count. Any value yields the
+    /// same results (the determinism contract), so this is purely a
+    /// parallelism/overhead trade-off.
+    unsigned shards = 0;
+    /// Conservative lookahead: the minimum cross-node interaction latency
+    /// (the radio base_delay). Must be positive.
+    sim::Duration lookahead;
+    /// Stripe granularity of the spatial partition (the radio range).
+    double cell_size = 250.0;
+  };
+
+  /// Builds the lanes and per-node streams; node `i` of `positions` is
+  /// `NodeId{i}` (the scenario::Network convention).
+  Engine(Config config, const std::vector<net::Position>& positions);
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// The lane a node lives on — what its agent/detector/timers schedule
+  /// against (each lane implements sim::Engine).
+  sim::Engine& shard_engine(net::NodeId id) {
+    return *shards_[map_.shard_of(id)];
+  }
+  unsigned shard_of(net::NodeId id) const { return map_.shard_of(id); }
+  unsigned shards() const { return static_cast<unsigned>(shards_.size()); }
+  unsigned threads() const { return threads_; }
+
+  sim::Time now() const { return now_; }
+
+  /// Runs every event with time <= horizon across all lanes, window by
+  /// window, then syncs all lane clocks to the horizon.
+  void run_until(sim::Time horizon);
+
+  /// Executes `fn` in `node`'s context (clock, RNG stream, scheduling)
+  /// outside the event loop — how scenario code starts agents and kicks
+  /// detector investigations between runs. Re-entrant: nesting run_as
+  /// (even for two nodes on the same lane) restores the outer node
+  /// context on exit.
+  void run_as(net::NodeId node, const std::function<void()>& fn);
+
+  EngineStats stats() const;
+
+  // --- net::ShardRouter (the Medium's shard-awareness hook) ---
+  sim::Engine& current_engine() override;
+  unsigned current_shard() const override;
+  unsigned shard_count() const override { return shards(); }
+  bool is_local(net::NodeId receiver) const override;
+  void schedule_delivery(net::NodeId receiver, sim::Time at,
+                         sim::EventQueue::Callback cb) override;
+
+ private:
+  class Pool;
+  struct Mail {
+    sim::Time at;
+    std::uint32_t origin_node;
+    std::uint64_t origin_seq;
+    std::uint32_t owner;
+    sim::Callback cb;
+  };
+
+  ShardSim& current();
+  const ShardSim& current() const;
+  void run_window(sim::Time end);
+  void exec_lane(unsigned lane, sim::Time end);
+  void drain_mailboxes();
+
+  Config config_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<ShardSim>> shards_;
+  /// outboxes_[src][dst]: mail written only by src's worker mid-window,
+  /// drained single-threaded at the barrier.
+  std::vector<std::vector<std::vector<Mail>>> outboxes_;
+  std::vector<Mail> drain_scratch_;
+  unsigned threads_ = 1;
+  std::unique_ptr<Pool> pool_;
+  sim::Time now_;
+  std::uint64_t windows_ = 0;
+  std::uint64_t cross_shard_events_ = 0;
+};
+
+}  // namespace manet::psim

@@ -1,0 +1,51 @@
+#include "psim/shard_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace manet::psim {
+
+ShardMap::ShardMap(const std::vector<net::Position>& positions,
+                   double cell_size, unsigned shards) {
+  if (positions.empty())
+    throw std::invalid_argument{"ShardMap needs at least one node"};
+  if (cell_size <= 0.0)
+    throw std::invalid_argument{"ShardMap cell_size must be positive"};
+  const auto n = positions.size();
+  const unsigned count =
+      std::max(1u, std::min<unsigned>(shards, static_cast<unsigned>(n)));
+
+  // West-to-east stripe order: cell column first (SpatialGrid's coordinate
+  // quantization), exact coordinates and the node index as tie-breakers so
+  // the order is total and deterministic.
+  std::vector<std::uint32_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<std::uint32_t>(i);
+  const double inv_cell = 1.0 / cell_size;
+  auto cell_x = [&](std::uint32_t i) {
+    return static_cast<std::int32_t>(std::floor(positions[i].x * inv_cell));
+  };
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const auto ca = cell_x(a), cb = cell_x(b);
+    if (ca != cb) return ca < cb;
+    if (positions[a].x != positions[b].x) return positions[a].x < positions[b].x;
+    if (positions[a].y != positions[b].y) return positions[a].y < positions[b].y;
+    return a < b;
+  });
+
+  // Contiguous near-equal cut: the first n % count stripes take one extra.
+  assignment_.assign(n, 0);
+  members_.resize(count);
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  std::size_t pos = 0;
+  for (unsigned s = 0; s < count; ++s) {
+    const std::size_t take = base + (s < extra ? 1 : 0);
+    for (std::size_t k = 0; k < take; ++k, ++pos) {
+      assignment_[order[pos]] = s;
+      members_[s].push_back(order[pos]);
+    }
+  }
+}
+
+}  // namespace manet::psim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "net/position.hpp"
+
+namespace manet::psim {
+
+/// Spatial partition of the arena into shards for the parallel engine.
+///
+/// Nodes are ordered by (grid-cell column, x, y, index) — the same uniform
+/// cell coordinates `net::SpatialGrid` uses, with cell size = radio range —
+/// and cut into `shards` contiguous stripes of near-equal node count.
+/// Stripes are spatial (west-to-east), so most radio traffic stays inside a
+/// shard and only stripe-boundary frames cross the barrier mailboxes; the
+/// equal-count cut keeps the event load of a dense cluster balanced even
+/// when every node shares one grid cell.
+///
+/// The partition is a pure function of (positions, cell_size, shards):
+/// independent of thread count, iteration order and memory layout, which
+/// the sharded engine's determinism contract builds on. Node `i` of the
+/// position list is `NodeId{i}` — the scenario::Network convention.
+class ShardMap {
+ public:
+  ShardMap(const std::vector<net::Position>& positions, double cell_size,
+           unsigned shards);
+
+  /// Shards actually created (<= requested; at most one per node).
+  unsigned count() const { return static_cast<unsigned>(members_.size()); }
+
+  unsigned shard_of(net::NodeId id) const {
+    return assignment_.at(id.value());
+  }
+  unsigned shard_of_index(std::size_t index) const {
+    return assignment_.at(index);
+  }
+
+  /// Node indices of one shard, in the stripe order they were cut in.
+  const std::vector<std::uint32_t>& members(unsigned shard) const {
+    return members_.at(shard);
+  }
+
+ private:
+  std::vector<unsigned> assignment_;            // node index -> shard
+  std::vector<std::vector<std::uint32_t>> members_;  // shard -> node indices
+};
+
+}  // namespace manet::psim

@@ -1,0 +1,83 @@
+#include "psim/shard_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace manet::psim {
+
+void ShardQueue::push(Entry entry) {
+  heap_.push_back(std::move(entry));
+  sift_up(heap_.size() - 1);
+  ++live_;
+}
+
+void ShardQueue::cancel(std::uint64_t id) {
+  if (id == 0) return;
+  if (cancelled_.insert(id).second && live_ > 0) --live_;
+}
+
+void ShardQueue::sift_up(std::size_t i) const {
+  if (i == 0 || !earlier(heap_[i], heap_[(i - 1) / 2])) return;
+  Entry e = std::move(heap_[i]);
+  do {
+    const std::size_t parent = (i - 1) / 2;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  } while (i > 0 && earlier(e, heap_[(i - 1) / 2]));
+  heap_[i] = std::move(e);
+}
+
+void ShardQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  Entry e = std::move(heap_[i]);
+  while (true) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && earlier(heap_[child + 1], heap_[child])) ++child;
+    if (!earlier(heap_[child], e)) break;
+    heap_[i] = std::move(heap_[child]);
+    i = child;
+  }
+  heap_[i] = std::move(e);
+}
+
+void ShardQueue::pop_top() const {
+  if (heap_.size() > 1) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void ShardQueue::drop_cancelled() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.front().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    pop_top();
+  }
+}
+
+bool ShardQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+sim::Time ShardQueue::next_time() const {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error{"ShardQueue::next_time on empty"};
+  return heap_.front().at;
+}
+
+ShardQueue::Entry ShardQueue::pop() {
+  drop_cancelled();
+  if (heap_.empty()) throw std::logic_error{"ShardQueue::pop on empty"};
+  Entry e = std::move(heap_.front());
+  pop_top();
+  if (live_ > 0) --live_;
+  return e;
+}
+
+}  // namespace manet::psim

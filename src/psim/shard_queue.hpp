@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/callback.hpp"
+#include "sim/time.hpp"
+
+namespace manet::psim {
+
+/// Time-ordered event queue of one shard lane, keyed globally instead of
+/// locally: ties at equal time are broken by (origin node, origin
+/// sequence), where the origin is the node whose processing created the
+/// event (the node itself for timers, the sender for frame deliveries) and
+/// the sequence is that node's private scheduling counter.
+///
+/// This is the load-bearing difference from sim::EventQueue, whose
+/// insertion-order tie-break depends on which events share a queue — i.e.
+/// on the shard count. A node's processing history is a deterministic
+/// function of the scenario seed alone, so the (origin, seq) key is too,
+/// and every shard lane pops the events of any one node in the same
+/// relative order no matter how the arena was partitioned. Same-time events
+/// of *different* nodes may interleave differently across partitions, but
+/// node state is only coupled through lookahead-delayed deliveries, so
+/// those interleavings are unobservable.
+///
+/// Cancellation is O(1) lazy via a hash set, as in sim::EventQueue.
+class ShardQueue {
+ public:
+  /// One pending event: the global ordering key, the node whose context
+  /// executes the callback, and the lane-local cancellation id.
+  struct Entry {
+    sim::Time at;
+    std::uint32_t origin_node = 0;
+    std::uint64_t origin_seq = 0;
+    std::uint32_t owner = 0;
+    std::uint64_t id = 0;
+    sim::Callback cb;
+  };
+
+  void push(Entry entry);
+  void cancel(std::uint64_t id);
+
+  bool empty() const;
+  sim::Time next_time() const;  ///< requires !empty()
+  Entry pop();                  ///< requires !empty()
+
+  std::size_t pending() const { return live_; }
+
+ private:
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.origin_node != b.origin_node) return a.origin_node < b.origin_node;
+    return a.origin_seq < b.origin_seq;
+  }
+  // Mirrors sim::EventQueue: empty()/next_time() discard cancelled entries,
+  // so heap_ and cancelled_ are mutable caches of the same logical queue.
+  void sift_up(std::size_t i) const;
+  void sift_down(std::size_t i) const;
+  void pop_top() const;
+  void drop_cancelled() const;
+
+  mutable std::vector<Entry> heap_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace manet::psim

@@ -1,0 +1,66 @@
+#include "psim/shard_sim.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace manet::psim {
+
+ShardSim::NodeSlot& ShardSim::current_slot() {
+  const auto it = nodes_.find(current_);
+  if (it == nodes_.end())
+    throw std::logic_error{
+        "ShardSim: scheduling/RNG call outside a node context (wrap "
+        "out-of-event interactions in psim::Engine::run_as)"};
+  return it->second;
+}
+
+void ShardSim::add_node(net::NodeId id, std::uint64_t stream_seed) {
+  nodes_.emplace(id.value(), NodeSlot{stream_seed});
+}
+
+sim::EventId ShardSim::schedule(sim::Duration delay,
+                                sim::EventQueue::Callback cb) {
+  if (delay < sim::Duration{})
+    throw std::invalid_argument{"negative delay"};
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+sim::EventId ShardSim::schedule_at(sim::Time at,
+                                   sim::EventQueue::Callback cb) {
+  if (at < now_) throw std::invalid_argument{"schedule_at in the past"};
+  NodeSlot& slot = current_slot();
+  const std::uint64_t id = next_id_++;
+  queue_.push(ShardQueue::Entry{at, current_, slot.origin_seq++, current_, id,
+                                std::move(cb)});
+  return sim::EventId{id};
+}
+
+void ShardSim::push_keyed(sim::Time at, std::uint32_t origin_node,
+                          std::uint64_t origin_seq, net::NodeId owner,
+                          sim::EventQueue::Callback cb) {
+  queue_.push(ShardQueue::Entry{at, origin_node, origin_seq, owner.value(),
+                                next_id_++, std::move(cb)});
+}
+
+void ShardSim::run_window(sim::Time end) {
+  while (!queue_.empty() && queue_.next_time() < end) {
+    ShardQueue::Entry e = queue_.pop();
+    // Clock advances before the callback so now() is the firing time, and
+    // the owner becomes the node context for draws and re-scheduling.
+    now_ = e.at;
+    current_ = e.owner;
+    e.cb();
+    ++executed_;
+  }
+  current_ = net::NodeId::kInvalid;
+}
+
+net::NodeId ShardSim::enter_node(net::NodeId id) {
+  if (!nodes_.contains(id.value()))
+    throw std::logic_error{"ShardSim::enter_node: node not on this shard"};
+  const net::NodeId prev{current_};
+  current_ = id.value();
+  return prev;
+}
+
+}  // namespace manet::psim

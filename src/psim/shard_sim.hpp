@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/node_id.hpp"
+#include "psim/shard_queue.hpp"
+#include "sim/engine.hpp"
+
+namespace manet::psim {
+
+/// One lane of the sharded engine: the clock, origin-keyed event queue and
+/// per-node RNG streams of a single spatial shard. Implements `sim::Engine`
+/// so OLSR agents, timers, the medium and the IDS run on it unchanged.
+///
+/// Execution model: the parallel engine (psim::Engine) drives every lane
+/// through lookahead-bounded windows — `run_window(end)` pops and executes
+/// events strictly before `end`, entirely on one worker thread. While an
+/// event executes, the lane's *current node* is the event's owner; the
+/// Engine-interface calls are interpreted in that node context:
+///
+/// - `rng()` is the current node's private counter-derived stream (never a
+///   lane-shared stream, which would make draws depend on which nodes share
+///   a lane, i.e. on the shard count).
+/// - `schedule`/`schedule_at` tag the new event with the current node as
+///   origin and the node's next origin sequence number — the global
+///   (time, origin, seq) key ShardQueue orders by.
+///
+/// Frame deliveries are pushed by the router with an explicit key (origin =
+/// sender) and owner (= receiver) via `push_keyed`, whether they arrive
+/// directly (receiver on this lane) or through a barrier mailbox.
+class ShardSim final : public sim::Engine {
+ public:
+  explicit ShardSim(unsigned index) : index_{index} {}
+
+  // --- sim::Engine ---
+  sim::Time now() const override { return now_; }
+  sim::Rng& rng() override { return current_slot().rng; }
+  sim::EventId schedule(sim::Duration delay,
+                        sim::EventQueue::Callback cb) override;
+  sim::EventId schedule_at(sim::Time at,
+                           sim::EventQueue::Callback cb) override;
+  void cancel(sim::EventId id) override { queue_.cancel(id.id_); }
+
+  // --- wiring (engine construction) ---
+  /// Registers a node on this lane with its private RNG stream seed.
+  void add_node(net::NodeId id, std::uint64_t stream_seed);
+
+  // --- engine-side driving ---
+  unsigned index() const { return index_; }
+  bool has_node(net::NodeId id) const {
+    return nodes_.contains(id.value());
+  }
+  net::NodeId current_node() const { return net::NodeId{current_}; }
+  /// Allocates the next origin sequence number of the current node (the
+  /// router keys outgoing deliveries with it).
+  std::uint64_t take_origin_seq() { return current_slot().origin_seq++; }
+  /// Enqueues an event executing in `owner`'s context under an explicit
+  /// global ordering key (frame deliveries, mailbox drains).
+  void push_keyed(sim::Time at, std::uint32_t origin_node,
+                  std::uint64_t origin_seq, net::NodeId owner,
+                  sim::EventQueue::Callback cb);
+
+  /// Executes every pending event with time < `end` (one worker thread).
+  void run_window(sim::Time end);
+  bool has_event_before(sim::Time t) const {
+    return !queue_.empty() && queue_.next_time() < t;
+  }
+  /// Earliest pending event time, or false via the out-param pattern.
+  bool peek_next(sim::Time& out) const {
+    if (queue_.empty()) return false;
+    out = queue_.next_time();
+    return true;
+  }
+  /// Syncs the lane clock at the end of a run (never backward past an
+  /// executed event).
+  void set_now(sim::Time t) {
+    if (t > now_) now_ = t;
+  }
+
+  /// Enters an explicit node context for out-of-event calls
+  /// (psim::Engine::run_as); returns the previous context (possibly
+  /// invalid) so nested entries on the same lane restore correctly via
+  /// restore_node().
+  net::NodeId enter_node(net::NodeId id);
+  void restore_node(net::NodeId prev) { current_ = prev.value(); }
+
+  std::uint64_t executed_events() const { return executed_; }
+  std::size_t pending_events() const { return queue_.pending(); }
+
+ private:
+  struct NodeSlot {
+    sim::Rng rng;
+    std::uint64_t origin_seq = 1;
+    explicit NodeSlot(std::uint64_t seed) : rng{seed} {}
+  };
+  NodeSlot& current_slot();
+
+  unsigned index_;
+  sim::Time now_;
+  std::uint32_t current_ = net::NodeId::kInvalid;
+  ShardQueue queue_;
+  std::unordered_map<std::uint32_t, NodeSlot> nodes_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace manet::psim

@@ -60,6 +60,9 @@ scenario::TrustExperiment::Config ReplicationTask::to_config() const {
   cfg.seed = seed;
   cfg.rounds = rounds;
   cfg.radio_loss = preset_loss_probability(point.mobility);
+  cfg.engine = engine;
+  cfg.engine_threads = engine_threads;
+  cfg.shards = shards;
   return cfg;
 }
 
@@ -87,6 +90,8 @@ std::vector<ReplicationTask> ExperimentSpec::expand() const {
       task.point = points[p];
       task.seed = seed;
       task.rounds = rounds;
+      task.engine = engine;
+      task.shards = shards;
       tasks.push_back(task);
     }
   }

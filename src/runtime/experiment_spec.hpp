@@ -45,6 +45,13 @@ struct ReplicationTask {
   GridPoint point;
   std::uint64_t seed = 1;
   int rounds = 12;
+  /// Engine driving this replication. Sharded results are invariant to
+  /// engine_threads and shards (the psim determinism contract), so the
+  /// Runner is free to rewrite those two for load-balancing without
+  /// changing any output byte.
+  sim::EngineKind engine = sim::EngineKind::kSequential;
+  unsigned engine_threads = 1;  ///< sharded workers; 0 = hardware
+  unsigned shards = 0;          ///< sharded spatial shards; 0 = auto
 
   /// The scenario config this task denotes, ready for TrustExperiment.
   scenario::TrustExperiment::Config to_config() const;
@@ -77,6 +84,11 @@ struct ExperimentSpec {
   std::vector<double> attacker_fractions{0.25};
   std::vector<MobilityPreset> mobility_presets{MobilityPreset::kStatic};
   int rounds = 12;
+  /// Engine for every replication of the sweep (--engine on the CLI). The
+  /// Runner decides intra- vs inter-replication parallelism; see
+  /// Runner::run.
+  sim::EngineKind engine = sim::EngineKind::kSequential;
+  unsigned shards = 0;  ///< sharded spatial shards per replication; 0 = auto
   trust::TrustParams trust_params;
   trust::DecisionConfig decision;
 

@@ -61,11 +61,32 @@ std::vector<ReplicationResult> Runner::run(const ExperimentSpec& spec) {
 }
 
 std::vector<ReplicationResult> Runner::run(
-    const std::vector<ReplicationTask>& tasks,
+    const std::vector<ReplicationTask>& tasks_in,
     const trust::TrustParams& trust_params,
     const trust::DecisionConfig& decision) {
-  std::vector<ReplicationResult> results(tasks.size());
-  if (tasks.empty()) return results;
+  std::vector<ReplicationResult> results(tasks_in.size());
+  if (tasks_in.empty()) return results;
+
+  // Intra- vs inter-replication split for sharded tasks: give each
+  // replication floor(budget / concurrent replications) workers, but only
+  // when the replications are big enough (>= kIntraNodeThreshold nodes)
+  // for shard windows to amortize their barriers. Rewriting engine_threads
+  // cannot change any output byte — sharded results are thread- and
+  // shard-count invariant by contract (tests/psim_test.cpp).
+  std::vector<ReplicationTask> tasks = tasks_in;
+  {
+    unsigned budget = config_.threads;
+    if (budget == 0) budget = std::thread::hardware_concurrency();
+    if (budget == 0) budget = 1;
+    const unsigned outer =
+        static_cast<unsigned>(std::min<std::size_t>(tasks.size(), budget));
+    const unsigned inner = std::max(1u, budget / std::max(outer, 1u));
+    for (auto& task : tasks) {
+      if (task.engine != sim::EngineKind::kSharded) continue;
+      task.engine_threads =
+          task.point.num_nodes >= kIntraNodeThreshold ? inner : 1;
+    }
+  }
 
   const unsigned threads = effective_threads(tasks.size());
   if (threads == 1) {

@@ -8,16 +8,25 @@
 
 namespace manet::runtime {
 
-/// Parallel replication executor. One `sim::Simulator` stack is strictly
-/// single-threaded, so the natural scaling axis is replication-level
-/// parallelism: every ReplicationTask owns a private simulator and RNG
-/// stream, and the Runner shards the task list across worker threads with
-/// work stealing (each worker drains its own deque front-to-back and steals
-/// from the back of the fullest victim when it runs dry — long replications
-/// at high node counts no longer serialize behind a static partition).
+/// Parallel replication executor over two orthogonal axes.
+///
+/// Inter-replication: every ReplicationTask owns a private engine stack and
+/// RNG streams, and the Runner shards the task list across worker threads
+/// with work stealing (each worker drains its own deque front-to-back and
+/// steals from the back of the fullest victim when it runs dry).
+///
+/// Intra-replication: tasks that select the psim sharded engine can spend
+/// several workers *inside* one replication. Because sharded results are
+/// invariant to the worker and shard counts (the psim determinism
+/// contract), the Runner freely splits its thread budget: replications
+/// outnumbering the budget run with one thread each (inter wins); a few
+/// huge replications — the N >= kIntraNodeThreshold regime where a single
+/// dense replication is the wall-clock bottleneck — get the leftover
+/// workers as shard lanes instead.
 ///
 /// Results land in slots keyed by task index, so the output order — and
-/// therefore every downstream aggregate — is identical for any thread count.
+/// therefore every downstream aggregate — is identical for any thread
+/// count, on either axis.
 class Runner {
  public:
   struct Config {
@@ -46,6 +55,10 @@ class Runner {
 
   /// Threads a run with this config will actually use for `task_count` tasks.
   unsigned effective_threads(std::size_t task_count) const;
+
+  /// Node count from which a sharded replication is worth worker threads of
+  /// its own (below it, per-window work cannot amortize the barriers).
+  static constexpr std::size_t kIntraNodeThreshold = 64;
 
  private:
   Config config_{};

@@ -4,6 +4,11 @@
 
 namespace manet::scenario {
 
+sim::Engine& Network::engine_for(std::size_t index) {
+  if (psim_) return psim_->shard_engine(id_of(index));
+  return sim_;
+}
+
 Network::Network(Config config)
     : sim_{config.seed},
       medium_{sim_, config.radio},
@@ -11,6 +16,20 @@ Network::Network(Config config)
       mobility_{sim_, medium_} {
   if (config_.positions.empty())
     throw std::invalid_argument{"Network needs at least one position"};
+
+  if (config_.engine == sim::EngineKind::kSharded) {
+    // v1 scope of the sharded engine: the collision model mutates receiver
+    // state at transmit time (Medium::set_shard_router also rejects it) and
+    // a zero base delay leaves no conservative lookahead.
+    psim::Engine::Config pc;
+    pc.seed = config_.seed;
+    pc.threads = config_.engine_threads;
+    pc.shards = config_.shards;
+    pc.lookahead = config_.radio.base_delay;
+    pc.cell_size = config_.radio.range_m;
+    psim_ = std::make_unique<psim::Engine>(pc, config_.positions);
+    medium_.set_shard_router(psim_.get());
+  }
 
   const auto n = config_.positions.size();
   hooks_.resize(n);
@@ -22,10 +41,10 @@ Network::Network(Config config)
   for (std::size_t i = 0; i < n; ++i) {
     const auto id = id_of(i);
     medium_.attach(id, config_.positions[i]);
-    agents_.push_back(
-        std::make_unique<olsr::Agent>(sim_, medium_, id, config_.agent));
+    agents_.push_back(std::make_unique<olsr::Agent>(engine_for(i), medium_,
+                                                    id, config_.agent));
     investigations_.push_back(std::make_unique<core::InvestigationManager>(
-        sim_, *agents_.back(), config_.investigation));
+        engine_for(i), *agents_.back(), config_.investigation));
   }
   built_ = true;
 }
@@ -43,7 +62,8 @@ core::Detector& Network::add_detector(std::size_t index,
   auto& slot = detectors_.at(index);
   if (slot) throw std::logic_error{"node already has a detector"};
   slot = std::make_unique<core::Detector>(
-      sim_, *agents_.at(index), *investigations_.at(index), config);
+      engine_for(index), *agents_.at(index), *investigations_.at(index),
+      config);
   return *slot;
 }
 
@@ -55,7 +75,7 @@ core::RecommendationExchange& Network::add_recommendations(
   if (det == nullptr)
     throw std::logic_error{"add_recommendations requires a detector"};
   slot = std::make_unique<core::RecommendationExchange>(
-      sim_, *agents_.at(index), det->trust_store());
+      engine_for(index), *agents_.at(index), det->trust_store());
   investigations_.at(index)->set_fallback(
       [ex = slot.get()](const olsr::DataMessage& m) { return ex->on_data(m); });
   return *slot;
@@ -63,12 +83,19 @@ core::RecommendationExchange& Network::add_recommendations(
 
 void Network::set_mobility(std::size_t index,
                            std::unique_ptr<net::MobilityModel> model) {
+  if (psim_)
+    throw std::invalid_argument{
+        "sharded engine does not support mobility yet: position updates "
+        "mid-window would race across shard lanes"};
   mobility_.set_model(id_of(index), std::move(model));
   mobility_used_ = true;
 }
 
 void Network::start_all() {
-  for (auto& agent : agents_) agent->start();
+  // Starting an agent arms its jittered timers (RNG draws): under the
+  // sharded engine that must happen in the node's own stream context.
+  for (std::size_t i = 0; i < agents_.size(); ++i)
+    run_as(i, [&] { agents_[i]->start(); });
   if (mobility_used_) mobility_.start();
 }
 

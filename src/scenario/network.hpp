@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "net/medium.hpp"
 #include "net/mobility.hpp"
 #include "olsr/agent.hpp"
+#include "psim/engine.hpp"
 
 namespace manet::scenario {
 
@@ -25,6 +27,16 @@ class Network {
     std::vector<net::Position> positions;
     olsr::Agent::Config agent;
     core::InvestigationConfig investigation;
+    /// Discrete-event engine driving the network: the sequential Simulator
+    /// (default; byte-stable legacy traces) or the psim sharded parallel
+    /// engine (its own determinism contract — see psim::Engine). The
+    /// sharded engine rejects mobility and the collision model (v1 scope).
+    sim::EngineKind engine = sim::EngineKind::kSequential;
+    /// Sharded-engine worker threads; 0 = hardware concurrency.
+    unsigned engine_threads = 0;
+    /// Sharded-engine spatial shards; 0 = auto from the node count. Any
+    /// value produces identical results.
+    unsigned shards = 0;
   };
 
   explicit Network(Config config);
@@ -38,7 +50,14 @@ class Network {
     return NodeId{static_cast<std::uint32_t>(index)};
   }
 
+  /// The sequential simulator — only meaningful under the sequential
+  /// engine; scenario code that must work on both engines uses now(),
+  /// run_for() and run_as() instead.
   sim::Simulator& sim() { return sim_; }
+  /// The sharded engine, or nullptr under the sequential one.
+  psim::Engine* sharded() { return psim_.get(); }
+  /// Current virtual time, whichever engine drives the network.
+  sim::Time now() const { return psim_ ? psim_->now() : sim_.now(); }
   net::Medium& medium() { return medium_; }
   olsr::Agent& agent(std::size_t index) { return *agents_.at(index); }
   core::InvestigationManager& investigations(std::size_t index) {
@@ -77,14 +96,37 @@ class Network {
   void stop_all();
 
   /// Convenience: runs the simulation for `d` of simulated time.
-  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+  void run_for(sim::Duration d) {
+    if (psim_) {
+      psim_->run_until(psim_->now() + d);
+    } else {
+      sim_.run_until(sim_.now() + d);
+    }
+  }
+
+  /// Executes `fn` in node `index`'s context. A plain call sequentially;
+  /// under the sharded engine it binds the node's shard lane and RNG
+  /// stream, which any out-of-event interaction that draws or schedules
+  /// (detector kicks, manual agent pokes) must run inside.
+  void run_as(std::size_t index, const std::function<void()>& fn) {
+    if (psim_) {
+      psim_->run_as(id_of(index), fn);
+    } else {
+      fn();
+    }
+  }
 
   /// True when every pair of attached nodes has a route to each other in
   /// both routing tables (control-plane convergence).
   bool converged() const;
 
  private:
+  sim::Engine& engine_for(std::size_t index);
+
   sim::Simulator sim_;
+  /// Sharded engine (engine == kSharded); declared before the medium and
+  /// the agents so every lane outlives its schedulers.
+  std::unique_ptr<psim::Engine> psim_;
   net::Medium medium_;
   Config config_;
   std::vector<std::unique_ptr<olsr::AgentHooks>> hooks_;

@@ -31,6 +31,9 @@ void TrustExperiment::setup() {
   nc.radio.loss_probability = config_.radio_loss;
   nc.positions = net::grid_layout(config_.num_nodes, 50.0);
   nc.investigation = config_.investigation;
+  nc.engine = config_.engine;
+  nc.engine_threads = config_.engine_threads;
+  nc.shards = config_.shards;
   network_ = std::make_unique<Network>(nc);
 
   // Attacker (node 1) advertises the phantom / forged link.
@@ -94,13 +97,17 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
     snap.margin = report.interval.margin;
     done = true;
   });
-  detector_->investigate_claim(attacker(), phantom_, /*claimed_up=*/true,
-                               {core::EvidenceTag::kE1MprReplaced}, verifiers);
+  // The kick draws and schedules in the investigator's context — under the
+  // sharded engine that must happen on node 0's lane and stream.
+  network_->run_as(0, [&] {
+    detector_->investigate_claim(attacker(), phantom_, /*claimed_up=*/true,
+                                 {core::EvidenceTag::kE1MprReplaced},
+                                 verifiers);
+  });
 
   // Drive the simulation until the round's report lands (bounded wait).
-  const auto deadline =
-      network_->sim().now() + sim::Duration::from_seconds(60.0);
-  while (!done && network_->sim().now() < deadline)
+  const auto deadline = network_->now() + sim::Duration::from_seconds(60.0);
+  while (!done && network_->now() < deadline)
     network_->run_for(sim::Duration::from_ms(250));
   detector_->set_report_callback({});
   if (!done) throw std::runtime_error{"investigation round never completed"};

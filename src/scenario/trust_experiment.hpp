@@ -32,6 +32,12 @@ class TrustExperiment {
     double radio_loss = 0.0;
     attacks::LinkSpoofingAttack::Mode mode =
         attacks::LinkSpoofingAttack::Mode::kAddNonExistent;
+    /// Engine driving the replication (see Network::Config): sequential by
+    /// default; kSharded runs the psim parallel engine, whose results are
+    /// identical for any `engine_threads` / `shards` value.
+    sim::EngineKind engine = sim::EngineKind::kSequential;
+    unsigned engine_threads = 0;  ///< sharded workers; 0 = hardware
+    unsigned shards = 0;          ///< sharded spatial shards; 0 = auto
   };
 
   struct RoundSnapshot {

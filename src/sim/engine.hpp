@@ -1,0 +1,63 @@
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace manet::sim {
+
+/// Which discrete-event engine drives a scenario.
+///
+/// `kSequential` is the classic single-threaded `Simulator`: one clock, one
+/// event queue, one root RNG stream; its traces are pinned byte-for-byte by
+/// tests/golden_trace_test.cpp. `kSharded` selects the conservative
+/// barrier-synchronized parallel engine in src/psim/: the arena is
+/// partitioned into spatial shards, each with its own queue, clock and
+/// per-node RNG streams, and events are processed in lookahead-bounded
+/// windows across a worker pool. The sharded engine carries its own
+/// determinism contract (identical output for any thread count and any
+/// shard count at a fixed seed) but its draw sequence differs from the
+/// sequential engine's, so the two produce behaviourally equivalent — not
+/// byte-identical — runs (tests/psim_test.cpp pins both properties).
+enum class EngineKind {
+  kSequential,  ///< single-threaded Simulator (default, legacy traces)
+  kSharded,     ///< psim conservative sharded parallel engine
+};
+
+/// Abstract scheduling surface of a discrete-event engine: the virtual
+/// clock, a cancellable scheduler and the random stream of the executing
+/// context. Protocol code (OLSR agents, timers, the medium, the IDS) talks
+/// to this interface only, so the same daemon runs unchanged on the
+/// sequential `Simulator` and on one shard lane of the parallel psim
+/// engine.
+///
+/// Contract notes for implementations:
+/// - `now()` during a callback is the event's firing time.
+/// - `rng()` returns the stream of the current execution context. The
+///   sequential Simulator has a single root stream; a psim shard lane
+///   returns the per-node counter-derived stream of the node whose event is
+///   executing, which is what makes sharded runs invariant to the shard and
+///   worker-thread counts.
+/// - `schedule`/`schedule_at` order ties deterministically (insertion order
+///   sequentially; a global (time, origin node, origin seq) key on psim).
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Current virtual time of this execution context.
+  virtual Time now() const = 0;
+
+  /// Random stream of the current execution context (see class comment).
+  virtual Rng& rng() = 0;
+
+  /// Schedules `cb` to run `delay` from now. Returns a cancellable handle.
+  virtual EventId schedule(Duration delay, EventQueue::Callback cb) = 0;
+
+  /// Schedules at an absolute time (must not be in the past).
+  virtual EventId schedule_at(Time at, EventQueue::Callback cb) = 0;
+
+  /// Cancels a previously scheduled event (O(1), lazy).
+  virtual void cancel(EventId id) = 0;
+};
+
+}  // namespace manet::sim

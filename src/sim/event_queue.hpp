@@ -9,6 +9,10 @@
 #include "sim/callback.hpp"
 #include "sim/time.hpp"
 
+namespace manet::psim {
+class ShardSim;  // mints EventIds for the sharded engine's per-shard queues
+}  // namespace manet::psim
+
 namespace manet::sim {
 
 /// Handle that allows a scheduled event to be cancelled.
@@ -20,6 +24,7 @@ class EventId {
 
  private:
   friend class EventQueue;
+  friend class ::manet::psim::ShardSim;
   explicit constexpr EventId(std::uint64_t id) : id_{id} {}
   std::uint64_t id_ = 0;
 };

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "sim/engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
@@ -8,26 +9,28 @@ namespace manet::sim {
 
 /// Discrete-event simulator: a virtual clock driving an event queue plus the
 /// root random stream. All substrates (radio medium, OLSR timers, IDS
-/// investigation timeouts) schedule against one Simulator instance.
-class Simulator {
+/// investigation timeouts) schedule against one Simulator instance — either
+/// directly or through the `Engine` interface it implements (the seam the
+/// psim sharded engine plugs its per-shard lanes into).
+class Simulator final : public Engine {
  public:
   explicit Simulator(std::uint64_t seed = 1);
 
-  Time now() const { return now_; }
-  Rng& rng() { return rng_; }
+  Time now() const override { return now_; }
+  Rng& rng() override { return rng_; }
 
   /// Schedules `cb` to run `delay` from now. Returns a cancellable handle.
-  EventId schedule(Duration delay, EventQueue::Callback cb);
+  EventId schedule(Duration delay, EventQueue::Callback cb) override;
 
   /// Schedules at an absolute time (must not be in the past).
-  EventId schedule_at(Time at, EventQueue::Callback cb);
+  EventId schedule_at(Time at, EventQueue::Callback cb) override;
 
   /// Opens a coalesced-insertion window floored at now() — see
   /// EventQueue::Window. No other scheduling call may run until it closes;
   /// equivalent to `schedule_at` on each added event in order.
   EventQueue::Window open_window() { return queue_.open_window(now_); }
 
-  void cancel(EventId id) { queue_.cancel(id); }
+  void cancel(EventId id) override { queue_.cancel(id); }
 
   /// Runs events until the queue drains or the horizon is passed.
   void run_until(Time horizon);

@@ -5,7 +5,7 @@
 
 namespace manet::sim {
 
-PeriodicTimer::PeriodicTimer(Simulator& sim, Duration period, Duration jitter,
+PeriodicTimer::PeriodicTimer(Engine& sim, Duration period, Duration jitter,
                              std::function<void()> on_fire)
     : sim_{sim}, period_{period}, jitter_{jitter}, on_fire_{std::move(on_fire)} {
   if (period_ <= Duration{}) throw std::invalid_argument{"period must be > 0"};

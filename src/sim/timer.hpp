@@ -2,7 +2,7 @@
 
 #include <functional>
 
-#include "sim/simulator.hpp"
+#include "sim/engine.hpp"
 
 namespace manet::sim {
 
@@ -18,7 +18,7 @@ class PeriodicTimer {
  public:
   /// `jitter` is the maximum amount subtracted uniformly at random from each
   /// period, i.e. the next firing is period - U[0, jitter] from the last.
-  PeriodicTimer(Simulator& sim, Duration period, Duration jitter,
+  PeriodicTimer(Engine& sim, Duration period, Duration jitter,
                 std::function<void()> on_fire);
   ~PeriodicTimer();
 
@@ -43,7 +43,7 @@ class PeriodicTimer {
  private:
   void schedule_next();
 
-  Simulator& sim_;
+  Engine& sim_;
   Duration period_;
   Duration jitter_;
   std::function<void()> on_fire_;
@@ -55,7 +55,7 @@ class PeriodicTimer {
 /// Single-shot timer handle (RAII cancel), used for investigation timeouts.
 class OneShotTimer {
  public:
-  explicit OneShotTimer(Simulator& sim) : sim_{sim} {}
+  explicit OneShotTimer(Engine& sim) : sim_{sim} {}
   ~OneShotTimer() { cancel(); }
 
   OneShotTimer(const OneShotTimer&) = delete;
@@ -66,7 +66,7 @@ class OneShotTimer {
   bool armed() const { return armed_; }
 
  private:
-  Simulator& sim_;
+  Engine& sim_;
   EventId pending_{};
   bool armed_ = false;
 };

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "net/medium.hpp"
+#include "net/topology.hpp"
+#include "scenario/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -221,6 +223,66 @@ TEST(MediumBatch, StaticRoundSharesSnapshotsPerCell) {
   sim.run_all();
   EXPECT_EQ(m.batch_stats().snapshot_builds, 4u);
 }
+
+// TC/forwarded-flood batching (Agent::Config::batched_floods): a full OLSR
+// network over a multi-hop grid — MPR selection, TC emission, duplicate-
+// window forwarding storms — must produce byte-identical audit logs on
+// every node whether the TC flood goes through the shared per-cell
+// snapshots or the per-sender path. This is the agent-level analogue of
+// the Medium-level equivalence above: timestamps, sequence numbers,
+// receiver sets and forwarding decisions all pinned at once.
+void run_flood_equivalence(std::uint64_t seed) {
+  auto build = [&](bool batched_floods) {
+    scenario::Network::Config nc;
+    nc.seed = seed + 11;
+    nc.radio.range_m = 250.0;
+    // A 150 m grid spacing makes the 24-node network genuinely multi-hop,
+    // so TCs are emitted and forwarded (a full mesh has no MPRs at all).
+    nc.positions = net::grid_layout(24, 150.0);
+    nc.agent.batched_floods = batched_floods;
+    return std::make_unique<scenario::Network>(std::move(nc));
+  };
+
+  auto batched = build(true);
+  auto per_sender = build(false);
+  batched->start_all();
+  per_sender->start_all();
+  batched->run_for(sim::Duration::from_seconds(20.0));
+  per_sender->run_for(sim::Duration::from_seconds(20.0));
+
+  for (std::size_t i = 0; i < batched->size(); ++i) {
+    ASSERT_EQ(batched->agent(i).log().text_since(sim::Time{}),
+              per_sender->agent(i).log().text_since(sim::Time{}))
+        << "seed " << seed << " node " << i;
+    const auto& a = batched->agent(i).stats();
+    const auto& b = per_sender->agent(i).stats();
+    EXPECT_EQ(a.tc_sent, b.tc_sent) << "seed " << seed << " node " << i;
+    EXPECT_EQ(a.tc_recv, b.tc_recv) << "seed " << seed << " node " << i;
+    EXPECT_EQ(a.msgs_forwarded, b.msgs_forwarded)
+        << "seed " << seed << " node " << i;
+  }
+  EXPECT_EQ(batched->medium().stats().deliveries,
+            per_sender->medium().stats().deliveries);
+  EXPECT_EQ(batched->medium().stats().frames_sent,
+            per_sender->medium().stats().frames_sent);
+
+  // With batched_floods on, TC emissions and forwards join the batch on
+  // top of the HELLOs, so strictly more broadcasts ride the snapshots.
+  std::uint64_t hello_sent = 0;
+  for (std::size_t i = 0; i < batched->size(); ++i)
+    hello_sent += batched->agent(i).stats().hello_sent;
+  EXPECT_GT(batched->medium().batch_stats().batched_broadcasts, hello_sent);
+}
+
+class FloodBatchEquivalence : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(FloodBatchEquivalence, TcAndForwardsMatchPerSenderPath) {
+  run_flood_equivalence(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(TenSeeds, FloodBatchEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 10));
 
 // Radio state is baked into the snapshot, so set_up must invalidate it:
 // a down receiver stops hearing batched broadcasts immediately.

@@ -9,9 +9,9 @@
    markdown line — the symbol's last component must appear within a few
    lines of the anchor, so the paper-equation-to-code table cannot rot
    silently when edits shift line numbers.
-3. Doxygen coverage: every public class/struct declared in src/net and
-   src/sim headers carries a `///` doc comment (the determinism-contract
-   surface the batching work relies on).
+3. Doxygen coverage: every public class/struct declared in src/net,
+   src/sim and src/psim headers carries a `///` doc comment (the
+   determinism-contract surface the batching and sharding work relies on).
 
 Exit code 0 = clean, 1 = findings (printed one per line).
 """
@@ -25,7 +25,7 @@ ROOT = Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 ANCHOR_RE = re.compile(r"\(((?:\.\./)?(?:src|tests|tools|bench)/[\w/.-]+\.(?:cpp|hpp))#L(\d+)\)")
 ANCHOR_SLACK = 3  # lines of drift tolerated before a symbol anchor fails
-DOC_DIRS = ["src/net", "src/sim"]
+DOC_DIRS = ["src/net", "src/sim", "src/psim"]
 DECL_RE = re.compile(
     r"^(?:template\s*<[^>]*>\s*)?(class|struct)\s+([A-Z]\w+)"
     r"(?:\s+final)?\s*(?::[^;{]*)?\{")

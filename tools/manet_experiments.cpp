@@ -48,7 +48,15 @@ presets (override the grid; --seeds still applies)
                         tens of minutes per replication, meant for multicore hosts)
 
 execution / output
-  --threads N           worker threads, 0 = hardware concurrency (default 0)
+  --engine NAME         discrete-event engine per replication (default sequential):
+                        sequential = single-threaded, byte-stable legacy traces
+                        sharded    = psim conservative parallel engine; results
+                                     are identical for any thread/shard count
+  --shards N            sharded engine: spatial shards per replication, 0 = auto
+                        (default 0; output-invariant, pure perf knob)
+  --threads N           worker threads, 0 = hardware concurrency (default 0);
+                        with --engine sharded the runner splits the budget
+                        between replications and shard lanes by node count
   --confidence L        CI level for the aggregates (default 0.95)
   --format csv|json     aggregate output format (default csv)
   --per-round           emit the per-round Eq. 8 trajectory CSV instead
@@ -192,6 +200,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: unknown sweep '%s'\n", sweep.c_str());
         return 2;
       }
+    } else if (arg == "--engine") {
+      const std::string engine = need_value(i++);
+      if (engine == "sequential") {
+        spec.engine = sim::EngineKind::kSequential;
+      } else if (engine == "sharded") {
+        spec.engine = sim::EngineKind::kSharded;
+      } else {
+        ok = false;
+      }
+    } else if (arg == "--shards") {
+      std::uint64_t value = 0;
+      ok = parse_u64(need_value(i++), value) && value <= 4096;
+      spec.shards = static_cast<unsigned>(value);
     } else if (arg == "--threads") {
       std::uint64_t value = 0;
       ok = parse_u64(need_value(i++), value) && value <= 4096;
