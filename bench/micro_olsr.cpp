@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "logging/format.hpp"
 #include "olsr/link_set.hpp"
 #include "olsr/mpr_selection.hpp"
@@ -20,17 +22,25 @@ olsr::MprInputs random_mpr_inputs(std::size_t n1, std::size_t n2,
   sim::Rng rng{seed};
   olsr::MprInputs in;
   for (std::size_t i = 1; i <= n1; ++i)
-    in.neighbors[NodeId{static_cast<std::uint32_t>(i)}] =
-        olsr::Willingness::kDefault;
+    in.neighbors.emplace_back(NodeId{static_cast<std::uint32_t>(i)},
+                              olsr::Willingness::kDefault);
+  in.reach.resize(n1);
+  for (std::size_t i = 0; i < n1; ++i)
+    in.reach[i].first = NodeId{static_cast<std::uint32_t>(i + 1)};
   for (std::size_t j = 0; j < n2; ++j) {
     const NodeId two_hop{static_cast<std::uint32_t>(1000 + j)};
     const auto providers = rng.uniform_int(1, static_cast<std::int64_t>(n1));
     for (std::int64_t k = 0; k < providers; ++k) {
-      const NodeId via{static_cast<std::uint32_t>(
-          rng.uniform_int(1, static_cast<std::int64_t>(n1)))};
-      in.reach[via].insert(two_hop);
+      const auto via = static_cast<std::size_t>(
+          rng.uniform_int(1, static_cast<std::int64_t>(n1)) - 1);
+      in.reach[via].second.push_back(two_hop);
     }
   }
+  for (auto& [via, ths] : in.reach) {
+    std::sort(ths.begin(), ths.end());
+    ths.erase(std::unique(ths.begin(), ths.end()), ths.end());
+  }
+  std::erase_if(in.reach, [](const auto& p) { return p.second.empty(); });
   return in;
 }
 
@@ -43,8 +53,7 @@ olsr::KnowledgeGraph random_graph(std::size_t nodes, std::size_t degree,
       const auto j = static_cast<std::uint32_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
       if (j == i) continue;
-      g[NodeId{static_cast<std::uint32_t>(i)}].insert(NodeId{j});
-      g[NodeId{j}].insert(NodeId{static_cast<std::uint32_t>(i)});
+      g.add_edge(NodeId{static_cast<std::uint32_t>(i)}, NodeId{j});
     }
   }
   return g;
@@ -64,27 +73,65 @@ BENCHMARK(BM_MprSelection)->Args({8, 20})->Args({16, 60})->Args({32, 200});
 
 static void BM_RoutingRecompute(benchmark::State& state) {
   const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 4, 7);
-  olsr::RoutingTable rt;
   for (auto _ : state) {
+    // Fresh table per iteration: recompute now short-circuits an unchanged
+    // graph, so reusing one table would measure the no-op check only.
+    olsr::RoutingTable rt;
     benchmark::DoNotOptimize(rt.recompute(NodeId{0}, g));
   }
 }
 BENCHMARK(BM_RoutingRecompute)->Arg(16)->Arg(64)->Arg(256);
 
 // The dense-cluster regime of the scale presets: every node sees ~70+
-// neighbors, so the knowledge graph is near-complete and Dijkstra's
-// frontier is maximal. This is the control-plane profiling target ROADMAP
-// promotes after the medium fast paths (see micro_psim for the engine
-// side); BENCH_5.json is its recorded baseline.
+// neighbors, so the knowledge graph is near-complete and the BFS frontier
+// is maximal. This is the control-plane profiling target ROADMAP promotes
+// after the medium fast paths (see micro_psim for the engine side);
+// BENCH_5.json recorded the std::map baseline, BENCH_6.json the flat-slab
+// CSR rebuild. A fresh table per iteration pins the full-rebuild path.
 static void BM_RoutingRecomputeDense(benchmark::State& state) {
   const auto g = random_graph(static_cast<std::size_t>(state.range(0)),
                               static_cast<std::size_t>(state.range(1)), 7);
-  olsr::RoutingTable rt;
   for (auto _ : state) {
+    olsr::RoutingTable rt;
     benchmark::DoNotOptimize(rt.recompute(NodeId{0}, g));
   }
 }
 BENCHMARK(BM_RoutingRecomputeDense)->Args({256, 70})->Args({1024, 78});
+
+// Steady-state control plane, identical graph: the most common recompute
+// in a converged network is a refresh that changes nothing; the table
+// answers it with the snapshot compare alone.
+static void BM_RoutingRecomputeSame(benchmark::State& state) {
+  const auto g = random_graph(static_cast<std::size_t>(state.range(0)),
+                              static_cast<std::size_t>(state.range(1)), 7);
+  olsr::RoutingTable rt;
+  rt.recompute(NodeId{0}, g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.recompute(NodeId{0}, g));
+  }
+}
+BENCHMARK(BM_RoutingRecomputeSame)->Args({256, 70})->Args({1024, 78});
+
+// Edge-addition churn: alternating between a graph and a one-edge superset
+// exercises the incremental relaxation (base -> grown) and the full-rebuild
+// fallback (grown -> base, a removal) in equal measure.
+static void BM_RoutingRecomputeIncremental(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto base = random_graph(nodes, static_cast<std::size_t>(state.range(1)), 7);
+  auto grown = base;
+  // One extra edge touching fresh nodes: the superset fast path relaxes
+  // outward from just this arc pair.
+  grown.add_edge(NodeId{static_cast<std::uint32_t>(nodes)},
+                 NodeId{static_cast<std::uint32_t>(nodes / 2)});
+  olsr::RoutingTable rt;
+  rt.recompute(NodeId{0}, base);
+  bool flip = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt.recompute(NodeId{0}, flip ? grown : base));
+    flip = !flip;
+  }
+}
+BENCHMARK(BM_RoutingRecomputeIncremental)->Args({256, 70})->Args({1024, 78});
 
 // Link-set scans run on every HELLO build (symmetric + asymmetric
 // enumeration) and on every HELLO receipt (is_symmetric); at >= 70
@@ -97,9 +144,12 @@ static void BM_LinkSetScan(benchmark::State& state) {
     links.on_hello(sim::Time{}, NodeId{i + 1}, /*lists_us=*/true,
                    /*lost_us=*/false, hold);
   const auto now = sim::Duration::from_ms(1);
+  std::vector<NodeId> sym, asym;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(links.symmetric_neighbors(now));
-    benchmark::DoNotOptimize(links.asymmetric_neighbors(now));
+    links.symmetric_neighbors(now, sym);
+    benchmark::DoNotOptimize(sym);
+    links.asymmetric_neighbors(now, asym);
+    benchmark::DoNotOptimize(asym);
     benchmark::DoNotOptimize(links.is_symmetric(now, NodeId{degree / 2}));
   }
   state.SetItemsProcessed(state.iterations() * degree);
@@ -108,7 +158,7 @@ BENCHMARK(BM_LinkSetScan)->Arg(16)->Arg(70)->Arg(150);
 
 static void BM_ShortestPathAvoiding(benchmark::State& state) {
   const auto g = random_graph(static_cast<std::size_t>(state.range(0)), 4, 7);
-  const std::set<NodeId> avoid{NodeId{1}, NodeId{2}};
+  const std::vector<NodeId> avoid{NodeId{1}, NodeId{2}};  // sorted
   for (auto _ : state) {
     benchmark::DoNotOptimize(olsr::RoutingTable::shortest_path(
         g, NodeId{0}, NodeId{static_cast<std::uint32_t>(state.range(0) - 1)},

@@ -21,6 +21,38 @@ static void BM_TrustUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_TrustUpdate);
 
+// Slab-scale gauges: the trust store is one flat sorted vector per table,
+// so point updates among >= 10k known subjects are two binary searches and
+// the idle sweep is one contiguous pass. Exercises the PR-6 slab layout at
+// fleet sizes far above the simulated networks.
+static void BM_TrustUpdateLarge(benchmark::State& state) {
+  const auto subjects = static_cast<std::uint32_t>(state.range(0));
+  trust::TrustStore store;
+  for (std::uint32_t i = 0; i < subjects; ++i)
+    store.set_trust(net::NodeId{i}, 0.4);
+  const auto ev = trust::lie_evidence(0.3);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.apply_evidence(net::NodeId{(i++ * 2654435761u) % subjects}, ev));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrustUpdateLarge)->Arg(10000)->Arg(40000);
+
+static void BM_TrustDecayAllLarge(benchmark::State& state) {
+  const auto subjects = static_cast<std::uint32_t>(state.range(0));
+  trust::TrustStore store;
+  for (std::uint32_t i = 0; i < subjects; ++i)
+    store.set_trust(net::NodeId{i}, i % 2 == 0 ? 0.9 : 0.1);
+  for (auto _ : state) {
+    store.decay_all_idle();
+    benchmark::DoNotOptimize(store);
+  }
+  state.SetItemsProcessed(state.iterations() * subjects);
+}
+BENCHMARK(BM_TrustDecayAllLarge)->Arg(10000)->Arg(40000);
+
 static void BM_AggregateDetection(benchmark::State& state) {
   std::vector<trust::WeightedAnswer> answers;
   for (int i = 0; i < state.range(0); ++i)

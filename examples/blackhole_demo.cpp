@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
   net.run_for(secs(30.0));
   std::printf("converged: %s; n1's MPRs include n2: %s\n",
               net.converged() ? "yes" : "no",
-              net.agent(1).mpr_set().contains(Network::id_of(2)) ? "yes"
+              net.agent(1).is_mpr(Network::id_of(2)) ? "yes"
                                                                  : "no");
 
   detector.start();

@@ -104,7 +104,7 @@ double InvestigationManager::honest_observation(const LinkQuery& query) const {
 
   if (query.kind == QueryKind::kForwarding) {
     // Did we select the suspect as MPR, and did it retransmit our messages?
-    if (!agent_.mpr_set().contains(query.suspect)) return 0.0;
+    if (!agent_.is_mpr(query.suspect)) return 0.0;
     for (const auto& rec : agent_.log().records_with_event("own_fwd_heard")) {
       if (now - rec.time > config_.hello_freshness) continue;
       if (rec.node_field("by") == query.suspect) return +1.0;
@@ -292,7 +292,11 @@ void InvestigationManager::on_timeout(std::uint32_t id) {
       const auto graph = agent_.knowledge_graph();
       auto prev = olsr::RoutingTable::shortest_path(graph, agent_.id(), v,
                                                     p.avoid);
-      if (prev && prev->size() > 1) p.avoid.insert(prev->front());
+      if (prev && prev->size() > 1) {
+        const auto hop = prev->front();
+        auto pos = std::lower_bound(p.avoid.begin(), p.avoid.end(), hop);
+        if (pos == p.avoid.end() || *pos != hop) p.avoid.insert(pos, hop);
+      }
       send_query_to(inv, v);
       any_retry = true;
     } else {

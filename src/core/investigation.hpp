@@ -3,7 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
+#include <vector>
 
 #include "olsr/agent.hpp"
 #include "sim/rng.hpp"
@@ -126,7 +126,7 @@ class InvestigationManager {
  private:
   struct PendingVerifier {
     int retries_left = 0;
-    std::set<NodeId> avoid;  ///< grows with each failed path
+    std::vector<NodeId> avoid;  ///< grows with each failed path; sorted
     bool done = false;
   };
   struct Outstanding {

@@ -5,13 +5,6 @@
 #include "olsr/wire.hpp"
 
 namespace manet::olsr {
-namespace {
-
-std::vector<NodeId> set_to_vec(const std::set<NodeId>& s) {
-  return {s.begin(), s.end()};
-}
-
-}  // namespace
 
 Agent::Agent(sim::Engine& sim, net::Medium& medium, NodeId id,
              Config config, AgentHooks* hooks)
@@ -98,26 +91,31 @@ bool Agent::is_symmetric_neighbor(NodeId n) const {
   return links_.is_symmetric(sim_.now(), n);
 }
 
-KnowledgeGraph Agent::knowledge_graph() const {
-  KnowledgeGraph g;
+bool Agent::is_mpr(NodeId n) const {
+  return std::binary_search(mprs_.begin(), mprs_.end(), n);
+}
+
+void Agent::build_knowledge_graph(KnowledgeGraph& g) const {
+  g.clear();
   const auto now = sim_.now();
   // Edges touching ourselves come exclusively from the link set: RFC 3626
   // §10 requires the first hop of any route to be a *symmetric* neighbor,
   // so stale TC tuples must not resurrect a dead local link.
-  for (auto n : links_.symmetric_neighbors(now)) {
-    g[id_].insert(n);
-    g[n].insert(id_);
-  }
+  links_.symmetric_neighbors(now, sym_scratch_);
+  for (auto n : sym_scratch_) g.add_edge(id_, n);
   for (const auto& t : neighbors_.two_hop_tuples()) {
     if (t.two_hop == id_) continue;
-    g[t.via].insert(t.two_hop);
-    g[t.two_hop].insert(t.via);
+    g.add_edge(t.via, t.two_hop);
   }
   for (const auto& t : topology_.tuples()) {
     if (t.dest == id_ || t.last_hop == id_) continue;
-    g[t.last_hop].insert(t.dest);
-    g[t.dest].insert(t.last_hop);
+    g.add_edge(t.last_hop, t.dest);
   }
+}
+
+KnowledgeGraph Agent::knowledge_graph() const {
+  KnowledgeGraph g;
+  build_knowledge_graph(g);
   return g;
 }
 
@@ -134,16 +132,14 @@ void Agent::emit_hello() {
   // Every link tuple is advertised with its current state (§6.2):
   // SYM links carry the neighbor type (MPR if selected), heard-only links
   // are advertised ASYM so the peer can upgrade them to symmetric.
-  std::vector<NodeId> asym;
-  for (auto n : links_.symmetric_neighbors(now)) {
-    const auto nt = mprs_.contains(n) ? NeighborType::kMprNeigh
-                                      : NeighborType::kSymNeigh;
+  links_.symmetric_neighbors(now, sym_scratch_);
+  links_.asymmetric_neighbors(now, asym_scratch_);
+  for (auto n : sym_scratch_) {
+    const auto nt =
+        is_mpr(n) ? NeighborType::kMprNeigh : NeighborType::kSymNeigh;
     h.add(LinkType::kSym, nt, n);
   }
-  for (auto n : links_.asymmetric_neighbors(now)) {
-    asym.push_back(n);
-    h.add(LinkType::kAsym, NeighborType::kNotNeigh, n);
-  }
+  for (auto n : asym_scratch_) h.add(LinkType::kAsym, NeighborType::kNotNeigh, n);
 
   if (hooks_) hooks_->on_build_hello(h);
 
@@ -158,7 +154,7 @@ void Agent::emit_hello() {
   auto rec = make_record("hello_sent");
   rec.with("seq", static_cast<std::int64_t>(m.header.seq_num))
       .with("neigh", logging::join_node_list(h.symmetric_neighbors()))
-      .with("asym", logging::join_node_list(asym))
+      .with("asym", logging::join_node_list(asym_scratch_))
       .with("will", static_cast<std::int64_t>(h.willingness));
   log_.append(std::move(rec));
 
@@ -335,7 +331,9 @@ void Agent::process_hello(const Message& m, NodeId /*transmitter*/) {
   const auto change =
       links_.on_hello(sim_.now(), from, lists_us, lost_us, m.header.vtime);
   const bool now_sym = links_.is_symmetric(sim_.now(), from);
-  neighbors_.upsert_neighbor(from, hello->willingness, now_sym);
+  bool tables_changed = change != LinkSet::Change::kNone;
+  if (neighbors_.upsert_neighbor(from, hello->willingness, now_sym))
+    tables_changed = true;
 
   const auto advertised_sym = hello->symmetric_neighbors();
   std::vector<NodeId> advertised_asym;
@@ -370,13 +368,13 @@ void Agent::process_hello(const Message& m, NodeId /*transmitter*/) {
     std::vector<NodeId> two_hops;
     for (auto n : advertised_sym)
       if (n != id_) two_hops.push_back(n);
-    const auto before = neighbors_.two_hops_via(from);
-    neighbors_.set_two_hops_via(from, two_hops, sim_.now() + m.header.vtime);
-    const auto after = neighbors_.two_hops_via(from);
-    if (before != after) {
+    if (neighbors_.set_two_hops_via(from, two_hops,
+                                    sim_.now() + m.header.vtime)) {
+      tables_changed = true;
       auto r = make_record("two_hop_update");
       r.with("via", from)
-          .with("nodes", logging::join_node_list(set_to_vec(after)));
+          .with("nodes",
+                logging::join_node_list(neighbors_.two_hops_via(from)));
       log_.append(std::move(r));
     }
   }
@@ -400,8 +398,14 @@ void Agent::process_hello(const Message& m, NodeId /*transmitter*/) {
     log_.append(std::move(r));
   }
 
-  recompute_mprs();
-  recompute_routes();
+  // MPR selector changes do not feed MPR selection or routing, so they do
+  // not raise the dirty flags.
+  if (tables_changed) {
+    mprs_dirty_ = true;
+    routes_dirty_ = true;
+  }
+  maybe_recompute_mprs();
+  maybe_recompute_routes();
 }
 
 void Agent::process_tc(const Message& m, NodeId transmitter) {
@@ -416,18 +420,21 @@ void Agent::process_tc(const Message& m, NodeId transmitter) {
   ++stats_.tc_recv;
 
   const NodeId origin = mid_set_.main_address_of(m.header.originator);
-  const bool applied = topology_.on_tc(sim_.now(), origin, tc->ansn,
-                                       tc->advertised, m.header.vtime);
+  const auto tc_result = topology_.on_tc(sim_.now(), origin, tc->ansn,
+                                         tc->advertised, m.header.vtime);
   auto rec = make_record("tc_recv");
   rec.with("orig", origin)
       .with("via", transmitter)
       .with("seq", static_cast<std::int64_t>(m.header.seq_num))
       .with("ansn", static_cast<std::int64_t>(tc->ansn))
       .with("adv", logging::join_node_list(tc->advertised))
-      .with("applied", applied ? "1" : "0");
+      .with("applied", tc_result.applied ? "1" : "0");
   log_.append(std::move(rec));
 
-  recompute_routes();
+  // A steady-state TC readvertising the same destination set (fresh ANSN,
+  // same edges) refreshes validity only — nothing routing consumes changed.
+  if (tc_result.changed) routes_dirty_ = true;
+  maybe_recompute_routes();
   maybe_forward(m, transmitter);
 }
 
@@ -512,9 +519,9 @@ void Agent::maybe_forward(const Message& m, NodeId transmitter) {
 
 Agent::SendStatus Agent::send_data(NodeId dest, std::uint16_t protocol,
                                    std::vector<std::uint8_t> payload,
-                                   const std::set<NodeId>& avoid) {
-  const auto graph = knowledge_graph();
-  auto path = RoutingTable::shortest_path(graph, id_, dest, avoid);
+                                   std::span<const NodeId> avoid) {
+  build_knowledge_graph(kg_scratch_);
+  auto path = RoutingTable::shortest_path(kg_scratch_, id_, dest, avoid);
   if (!path) {
     auto rec = make_record("data_no_route");
     rec.with("dest", dest);
@@ -610,14 +617,21 @@ void Agent::process_data(const Message& m, NodeId transmitter) {
 void Agent::housekeep() {
   const auto now = sim_.now();
   const auto lost = links_.expire(now);
+  if (!lost.empty()) {
+    mprs_dirty_ = true;
+    routes_dirty_ = true;
+  }
   for (auto n : lost) {
     neighbors_.remove_neighbor(n);
     auto rec = make_record("link_lost");
     rec.with("nbr", n);
     log_.append(std::move(rec));
   }
-  neighbors_.expire_two_hops(now);
-  topology_.expire(now);
+  if (neighbors_.expire_two_hops(now)) {
+    mprs_dirty_ = true;
+    routes_dirty_ = true;
+  }
+  if (topology_.expire(now)) routes_dirty_ = true;
   duplicates_.expire(now);
   mid_set_.expire(now);
   hna_set_.expire(now);
@@ -632,36 +646,55 @@ void Agent::housekeep() {
       ++it;
     }
   }
+  maybe_recompute_mprs();
+  maybe_recompute_routes();
+}
+
+void Agent::maybe_recompute_mprs() {
+  const auto now = sim_.now();
+  if (!mprs_dirty_ && now < mprs_links_hint_) return;
   recompute_mprs();
+  mprs_dirty_ = false;
+  mprs_links_hint_ = links_.next_transition(now);
+}
+
+void Agent::maybe_recompute_routes() {
+  const auto now = sim_.now();
+  if (!routes_dirty_ && now < routes_links_hint_) return;
   recompute_routes();
+  routes_dirty_ = false;
+  routes_links_hint_ = links_.next_transition(now);
 }
 
 void Agent::recompute_mprs() {
-  MprInputs in;
   const auto now = sim_.now();
-  for (auto n : links_.symmetric_neighbors(now))
-    in.neighbors[n] = neighbors_.willingness_of(n);
-  in.reach = neighbors_.reachability(id_);
+  mpr_inputs_.neighbors.clear();
+  links_.symmetric_neighbors(now, sym_scratch_);
+  for (auto n : sym_scratch_)
+    mpr_inputs_.neighbors.emplace_back(n, neighbors_.willingness_of(n));
+  neighbors_.reachability(id_, mpr_inputs_.reach);
 
-  auto fresh = select_mprs(in, config_.prune_redundant_mprs);
-  if (fresh == mprs_) return;
+  select_mprs(mpr_inputs_, config_.prune_redundant_mprs, mpr_scratch_,
+              fresh_mprs_);
+  if (fresh_mprs_ == mprs_) return;
 
   std::vector<NodeId> added, removed;
-  for (auto n : fresh)
-    if (!mprs_.contains(n)) added.push_back(n);
-  for (auto n : mprs_)
-    if (!fresh.contains(n)) removed.push_back(n);
+  std::set_difference(fresh_mprs_.begin(), fresh_mprs_.end(), mprs_.begin(),
+                      mprs_.end(), std::back_inserter(added));
+  std::set_difference(mprs_.begin(), mprs_.end(), fresh_mprs_.begin(),
+                      fresh_mprs_.end(), std::back_inserter(removed));
 
-  mprs_ = std::move(fresh);
+  mprs_ = fresh_mprs_;
   auto rec = make_record("mpr_changed");
-  rec.with("mprs", logging::join_node_list(set_to_vec(mprs_)))
+  rec.with("mprs", logging::join_node_list(mprs_))
       .with("added", logging::join_node_list(added))
       .with("removed", logging::join_node_list(removed));
   log_.append(std::move(rec));
 }
 
 void Agent::recompute_routes() {
-  const auto [added, removed] = routing_.recompute(id_, knowledge_graph());
+  build_knowledge_graph(kg_scratch_);
+  const auto [added, removed] = routing_.recompute(id_, kg_scratch_);
   if (added.empty() && removed.empty()) return;
   auto rec = make_record("routes_changed");
   rec.with("added", logging::join_node_list(added))

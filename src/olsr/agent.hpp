@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <set>
+#include <initializer_list>
+#include <map>
+#include <span>
 
 #include "logging/log_store.hpp"
 #include "net/medium.hpp"
@@ -40,6 +42,15 @@ struct AgentStats {
 /// shared medium. Every protocol-relevant action is appended to the node's
 /// audit LogStore — the paper's IDS consumes *only* that log plus the
 /// investigation answers, never the agent's in-memory state.
+///
+/// MPR and route recomputation is coalesced behind dirty flags: table
+/// mutations mark the derived state dirty, and the recompute runs at the
+/// same protocol points as before (end of HELLO/TC processing,
+/// housekeeping) only when an input actually changed — or when a link-set
+/// symmetry timer boundary (LinkSet::next_transition) has passed, which is
+/// the one way inputs change without an event. Skipped recomputes are
+/// exactly those that would have produced identical state and no log
+/// record, so traces are byte-identical to the eager behavior.
 class Agent {
  public:
   struct Config {
@@ -104,7 +115,9 @@ class Agent {
   const RoutingTable& routes() const { return routing_; }
   const MidSet& mid_set() const { return mid_set_; }
   const HnaSet& hna_set() const { return hna_set_; }
-  const std::set<NodeId>& mpr_set() const { return mprs_; }
+  /// Current MPR set, sorted ascending.
+  const std::vector<NodeId>& mpr_set() const { return mprs_; }
+  bool is_mpr(NodeId n) const;
   std::vector<NodeId> mpr_selectors() const;
   bool is_symmetric_neighbor(NodeId n) const;
   const AgentStats& stats() const { return stats_; }
@@ -119,9 +132,16 @@ class Agent {
   // --- application data plane (carrier of the investigation protocol) ---
   enum class SendStatus { kSent, kNoRoute };
   /// Source-routes a unicast payload to `dest`, avoiding `avoid` as relays.
+  /// `avoid` must be sorted ascending.
   SendStatus send_data(NodeId dest, std::uint16_t protocol,
                        std::vector<std::uint8_t> payload,
-                       const std::set<NodeId>& avoid = {});
+                       std::span<const NodeId> avoid = {});
+  SendStatus send_data(NodeId dest, std::uint16_t protocol,
+                       std::vector<std::uint8_t> payload,
+                       std::initializer_list<NodeId> avoid) {
+    return send_data(dest, protocol, std::move(payload),
+                     std::span<const NodeId>{avoid.begin(), avoid.size()});
+  }
   /// Sends along an explicit relay list (destination last).
   void send_data_via(std::vector<NodeId> route, std::uint16_t protocol,
                      std::vector<std::uint8_t> payload);
@@ -146,8 +166,11 @@ class Agent {
   void emit_hna();
   void housekeep();
 
+  void maybe_recompute_mprs();
+  void maybe_recompute_routes();
   void recompute_mprs();
   void recompute_routes();
+  void build_knowledge_graph(KnowledgeGraph& g) const;
   void broadcast_message(Message m, bool batched = false);
 
   std::uint16_t next_msg_seq() { return msg_seq_++; }
@@ -169,8 +192,25 @@ class Agent {
   MidSet mid_set_;
   HnaSet hna_set_;
   RoutingTable routing_;
-  std::set<NodeId> mprs_;
+  std::vector<NodeId> mprs_;  // sorted ascending
   std::map<NodeId, sim::Time> mpr_selectors_;  // -> valid_until
+
+  // Recompute coalescing: dirty flags raised by table mutations, plus a
+  // per-consumer snapshot of the link set's next symmetry-timer boundary
+  // taken at its last recompute. Initial values force the first recompute.
+  bool mprs_dirty_ = true;
+  bool routes_dirty_ = true;
+  sim::Time mprs_links_hint_{};
+  sim::Time routes_links_hint_{};
+
+  // Reusable scratch: per-HELLO/recompute work runs allocation-free in
+  // steady state.
+  mutable std::vector<NodeId> sym_scratch_;
+  mutable std::vector<NodeId> asym_scratch_;
+  mutable KnowledgeGraph kg_scratch_;
+  MprInputs mpr_inputs_;
+  MprScratch mpr_scratch_;
+  std::vector<NodeId> fresh_mprs_;
 
   std::uint16_t msg_seq_ = 1;
   std::uint16_t pkt_seq_ = 1;

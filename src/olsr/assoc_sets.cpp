@@ -1,51 +1,61 @@
 #include "olsr/assoc_sets.hpp"
 
+#include <algorithm>
+
 namespace manet::olsr {
 
 void MidSet::on_mid(sim::Time now, NodeId main,
                     const std::vector<NodeId>& ifaces, sim::Duration vtime) {
   for (auto iface : ifaces) {
-    auto& t = assoc_[iface];
-    t.main = main;
-    t.valid_until = now + vtime;
+    auto it = std::lower_bound(
+        assoc_.begin(), assoc_.end(), iface,
+        [](const Tuple& t, NodeId i) { return t.iface < i; });
+    if (it != assoc_.end() && it->iface == iface) {
+      it->main = main;
+      it->valid_until = now + vtime;
+    } else {
+      assoc_.insert(it, Tuple{iface, main, now + vtime});
+    }
   }
 }
 
 void MidSet::expire(sim::Time now) {
-  for (auto it = assoc_.begin(); it != assoc_.end();) {
-    if (it->second.valid_until <= now)
-      it = assoc_.erase(it);
-    else
-      ++it;
-  }
+  std::erase_if(assoc_,
+                [now](const Tuple& t) { return t.valid_until <= now; });
 }
 
 NodeId MidSet::main_address_of(NodeId iface) const {
-  auto it = assoc_.find(iface);
-  return it == assoc_.end() ? iface : it->second.main;
+  auto it = std::lower_bound(
+      assoc_.begin(), assoc_.end(), iface,
+      [](const Tuple& t, NodeId i) { return t.iface < i; });
+  return (it == assoc_.end() || it->iface != iface) ? iface : it->main;
 }
 
 std::vector<NodeId> MidSet::interfaces_of(NodeId main) const {
   std::vector<NodeId> out;
-  for (const auto& [iface, t] : assoc_)
-    if (t.main == main) out.push_back(iface);
+  for (const auto& t : assoc_)
+    if (t.main == main) out.push_back(t.iface);
   return out;
 }
 
 void HnaSet::on_hna(sim::Time now, NodeId gateway,
                     const std::vector<HnaMessage::Entry>& entries,
                     sim::Duration vtime) {
-  for (const auto& e : entries)
-    tuples_[Key{gateway, e.network, e.prefix_len}] = now + vtime;
+  for (const auto& e : entries) {
+    const Key key{gateway, e.network, e.prefix_len};
+    auto it = std::lower_bound(
+        tuples_.begin(), tuples_.end(), key,
+        [](const auto& p, const Key& k) { return p.first < k; });
+    if (it != tuples_.end() && it->first == key) {
+      it->second = now + vtime;
+    } else {
+      tuples_.insert(it, {key, now + vtime});
+    }
+  }
 }
 
 void HnaSet::expire(sim::Time now) {
-  for (auto it = tuples_.begin(); it != tuples_.end();) {
-    if (it->second <= now)
-      it = tuples_.erase(it);
-    else
-      ++it;
-  }
+  std::erase_if(tuples_, [now](const auto& p) { return p.second <= now; });
 }
 
 std::vector<NodeId> HnaSet::gateways_for(std::uint32_t network,

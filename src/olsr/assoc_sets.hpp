@@ -1,8 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <optional>
+#include <utility>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -16,7 +15,8 @@ using net::NodeId;
 /// Interface association set (§5.4), built from MID messages: maps an
 /// interface address to the originator's main address so multi-homed nodes
 /// are identified uniquely (the paper notes identity spoofing must be
-/// distinguished from legitimate multi-interface declarations).
+/// distinguished from legitimate multi-interface declarations). Flat slab
+/// sorted by interface address, like the other OLSR tables.
 class MidSet {
  public:
   void on_mid(sim::Time now, NodeId main, const std::vector<NodeId>& ifaces,
@@ -31,13 +31,15 @@ class MidSet {
 
  private:
   struct Tuple {
+    NodeId iface;
     NodeId main;
     sim::Time valid_until{};
   };
-  std::map<NodeId, Tuple> assoc_;  // iface -> main
+  std::vector<Tuple> assoc_;  // sorted by iface
 };
 
 /// Association set for external routes (§12.5), built from HNA messages.
+/// Flat slab sorted by (gateway, network, prefix_len).
 class HnaSet {
  public:
   void on_hna(sim::Time now, NodeId gateway,
@@ -57,7 +59,7 @@ class HnaSet {
     std::uint8_t prefix_len;
     auto operator<=>(const Key&) const = default;
   };
-  std::map<Key, sim::Time> tuples_;  // -> valid_until
+  std::vector<std::pair<Key, sim::Time>> tuples_;  // sorted by Key
 };
 
 }  // namespace manet::olsr

@@ -1,29 +1,69 @@
 #include "olsr/duplicate_set.hpp"
 
+#include <algorithm>
+
 namespace manet::olsr {
+namespace {
+
+bool key_less(NodeId ao, std::uint16_t as, NodeId bo, std::uint16_t bs) {
+  return ao != bo ? ao < bo : as < bs;
+}
+
+}  // namespace
+
+const DuplicateSet::Entry* DuplicateSet::find(NodeId originator,
+                                              std::uint16_t seq) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::pair{originator, seq},
+      [](const Entry& e, const std::pair<NodeId, std::uint16_t>& k) {
+        return key_less(e.originator, e.seq, k.first, k.second);
+      });
+  if (it == entries_.end() || it->originator != originator || it->seq != seq)
+    return nullptr;
+  return &*it;
+}
 
 bool DuplicateSet::seen(NodeId originator, std::uint16_t seq) const {
-  return tuples_.contains({originator, seq});
+  return find(originator, seq) != nullptr;
 }
 
 bool DuplicateSet::forwarded(NodeId originator, std::uint16_t seq) const {
-  auto it = tuples_.find({originator, seq});
-  return it != tuples_.end() && it->second.forwarded;
+  const auto* e = find(originator, seq);
+  return e != nullptr && e->forwarded;
 }
 
 void DuplicateSet::record(sim::Time now, NodeId originator, std::uint16_t seq,
                           bool forwarded, sim::Duration hold) {
-  auto& t = tuples_[{originator, seq}];
-  t.valid_until = now + hold;
-  t.forwarded = t.forwarded || forwarded;
+  const sim::Time until = now + hold;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), std::pair{originator, seq},
+      [](const Entry& e, const std::pair<NodeId, std::uint16_t>& k) {
+        return key_less(e.originator, e.seq, k.first, k.second);
+      });
+  if (it != entries_.end() && it->originator == originator && it->seq == seq) {
+    it->valid_until = until;
+    it->forwarded = it->forwarded || forwarded;
+  } else {
+    entries_.insert(it, Entry{originator, seq, until, forwarded});
+  }
+  ring_.push_back(RingSlot{originator, seq, until});
 }
 
 void DuplicateSet::expire(sim::Time now) {
-  for (auto it = tuples_.begin(); it != tuples_.end();) {
-    if (it->second.valid_until <= now)
-      it = tuples_.erase(it);
-    else
-      ++it;
+  while (!ring_.empty() && ring_.front().expiry <= now) {
+    const auto slot = ring_.front();
+    ring_.pop_front();
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), std::pair{slot.originator, slot.seq},
+        [](const Entry& e, const std::pair<NodeId, std::uint16_t>& k) {
+          return key_less(e.originator, e.seq, k.first, k.second);
+        });
+    if (it == entries_.end() || it->originator != slot.originator ||
+        it->seq != slot.seq)
+      continue;  // already removed via an earlier ring slot
+    // A refresh since this slot was pushed keeps the entry alive; the
+    // refresh's own ring slot will retire it.
+    if (it->valid_until <= now) entries_.erase(it);
   }
 }
 

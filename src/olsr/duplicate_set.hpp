@@ -1,8 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <deque>
+#include <vector>
 
 #include "net/node_id.hpp"
 #include "sim/time.hpp"
@@ -13,6 +13,14 @@ using net::NodeId;
 
 /// Duplicate set (§3.4.1): remembers processed/forwarded messages so the
 /// default forwarding algorithm floods each message at most once per node.
+///
+/// Lookups go through a flat (originator, seq)-sorted index; expiry is
+/// bounded by a time-ordered FIFO ring instead of a whole-table scan. Every
+/// record() pushes a ring entry stamped with its expiry, so expire() only
+/// pops the already-due prefix — entries refreshed since their ring stamp
+/// are skipped lazily (the refresh pushed a later entry). With the
+/// constant per-agent hold time the ring is exactly expiry-ordered and the
+/// removal set matches the old full-scan behavior entry for entry.
 class DuplicateSet {
  public:
   /// True if (originator, seq) was already processed.
@@ -26,14 +34,25 @@ class DuplicateSet {
               bool forwarded, sim::Duration hold);
 
   void expire(sim::Time now);
-  std::size_t size() const { return tuples_.size(); }
+  std::size_t size() const { return entries_.size(); }
 
  private:
-  struct Tuple {
+  struct Entry {
+    NodeId originator;
+    std::uint16_t seq = 0;
     sim::Time valid_until{};
     bool forwarded = false;
   };
-  std::map<std::pair<NodeId, std::uint16_t>, Tuple> tuples_;
+  struct RingSlot {
+    NodeId originator;
+    std::uint16_t seq = 0;
+    sim::Time expiry{};
+  };
+
+  const Entry* find(NodeId originator, std::uint16_t seq) const;
+
+  std::vector<Entry> entries_;  // sorted by (originator, seq)
+  std::deque<RingSlot> ring_;   // FIFO, expiry-ordered for constant holds
 };
 
 }  // namespace manet::olsr

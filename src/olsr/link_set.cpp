@@ -1,13 +1,52 @@
 #include "olsr/link_set.hpp"
 
+#include <algorithm>
+
 namespace manet::olsr {
+
+LinkSet::Slot* LinkSet::find(NodeId neighbor) {
+  auto it = std::lower_bound(
+      links_.begin(), links_.end(), neighbor,
+      [](const Slot& s, NodeId id) { return s.tuple.neighbor < id; });
+  if (it == links_.end() || it->tuple.neighbor != neighbor) return nullptr;
+  return &*it;
+}
+
+const LinkSet::Slot* LinkSet::find(NodeId neighbor) const {
+  return const_cast<LinkSet*>(this)->find(neighbor);
+}
+
+void LinkSet::note_boundary(sim::Time now, const LinkTuple& t) {
+  // Track the earliest strictly-future boundary at which this tuple's
+  // symmetry status could flip on its own: a symmetric link stops being
+  // symmetric at sym_until; any tuple leaves the set at valid_until.
+  if (t.sym_until > now && t.sym_until < transition_hint_)
+    transition_hint_ = t.sym_until;
+  if (t.valid_until > now && t.valid_until < transition_hint_)
+    transition_hint_ = t.valid_until;
+}
+
+void LinkSet::rescan_hint(sim::Time now) {
+  transition_hint_ = kNoTransition;
+  for (const auto& s : links_) note_boundary(now, s.tuple);
+}
+
+sim::Time LinkSet::next_transition(sim::Time now) {
+  if (now >= transition_hint_) rescan_hint(now);
+  return transition_hint_;
+}
 
 LinkSet::Change LinkSet::on_hello(sim::Time now, NodeId neighbor,
                                   bool lists_us, bool lost_us,
                                   sim::Duration vtime) {
-  auto& tuple = links_[neighbor];
-  const bool was_sym = tuple.neighbor.valid() && tuple.symmetric(now);
-  tuple.neighbor = neighbor;
+  auto it = std::lower_bound(
+      links_.begin(), links_.end(), neighbor,
+      [](const Slot& s, NodeId id) { return s.tuple.neighbor < id; });
+  if (it == links_.end() || it->tuple.neighbor != neighbor)
+    it = links_.insert(it, Slot{LinkTuple{neighbor}, false});
+
+  auto& tuple = it->tuple;
+  const bool was_sym = tuple.valid_until > sim::Time{} && tuple.symmetric(now);
 
   // §7.1.1: hearing any HELLO refreshes the asymmetric timer.
   tuple.asym_until = now + vtime;
@@ -17,9 +56,10 @@ LinkSet::Change LinkSet::on_hello(sim::Time now, NodeId neighbor,
     tuple.sym_until = now + vtime;
   }
   tuple.valid_until = std::max(tuple.asym_until, tuple.sym_until);
+  note_boundary(now, tuple);
 
   const bool is_sym = tuple.symmetric(now);
-  was_symmetric_[neighbor] = is_sym;
+  it->was_symmetric = is_sym;
   if (is_sym && !was_sym) return Change::kBecameSym;
   if (!is_sym && was_sym) return Change::kLost;
   if (!is_sym) return Change::kBecameAsym;
@@ -28,48 +68,60 @@ LinkSet::Change LinkSet::on_hello(sim::Time now, NodeId neighbor,
 
 std::vector<NodeId> LinkSet::expire(sim::Time now) {
   std::vector<NodeId> downgraded;
-  for (auto it = links_.begin(); it != links_.end();) {
-    const auto id = it->first;
-    const bool was_sym = was_symmetric_[id];
-    const bool now_sym = it->second.symmetric(now);
-    if (it->second.valid_until <= now) {
-      if (was_sym) downgraded.push_back(id);
-      was_symmetric_.erase(id);
-      it = links_.erase(it);
-      continue;
+  transition_hint_ = kNoTransition;
+  auto keep = links_.begin();
+  for (auto& s : links_) {
+    const bool now_sym = s.tuple.symmetric(now);
+    if (s.tuple.valid_until <= now) {
+      if (s.was_symmetric) downgraded.push_back(s.tuple.neighbor);
+      continue;  // drop: not copied to the keep prefix
     }
-    if (was_sym && !now_sym) {
-      downgraded.push_back(id);
-      was_symmetric_[id] = false;
+    if (s.was_symmetric && !now_sym) {
+      downgraded.push_back(s.tuple.neighbor);
+      s.was_symmetric = false;
     }
-    ++it;
+    note_boundary(now, s.tuple);
+    *keep++ = s;
   }
+  links_.erase(keep, links_.end());
   return downgraded;
 }
 
 bool LinkSet::is_symmetric(sim::Time now, NodeId neighbor) const {
-  auto it = links_.find(neighbor);
-  return it != links_.end() && it->second.symmetric(now);
+  const auto* s = find(neighbor);
+  return s != nullptr && s->tuple.symmetric(now);
 }
 
 std::optional<LinkTuple> LinkSet::get(NodeId neighbor) const {
-  auto it = links_.find(neighbor);
-  if (it == links_.end()) return std::nullopt;
-  return it->second;
+  const auto* s = find(neighbor);
+  if (s == nullptr) return std::nullopt;
+  return s->tuple;
 }
 
 std::vector<NodeId> LinkSet::symmetric_neighbors(sim::Time now) const {
   std::vector<NodeId> out;
-  for (const auto& [id, tuple] : links_)
-    if (tuple.symmetric(now)) out.push_back(id);
+  symmetric_neighbors(now, out);
   return out;
 }
 
 std::vector<NodeId> LinkSet::asymmetric_neighbors(sim::Time now) const {
   std::vector<NodeId> out;
-  for (const auto& [id, tuple] : links_)
-    if (tuple.asymmetric(now)) out.push_back(id);
+  asymmetric_neighbors(now, out);
   return out;
+}
+
+void LinkSet::symmetric_neighbors(sim::Time now,
+                                  std::vector<NodeId>& out) const {
+  out.clear();
+  for (const auto& s : links_)
+    if (s.tuple.symmetric(now)) out.push_back(s.tuple.neighbor);
+}
+
+void LinkSet::asymmetric_neighbors(sim::Time now,
+                                   std::vector<NodeId>& out) const {
+  out.clear();
+  for (const auto& s : links_)
+    if (s.tuple.asymmetric(now)) out.push_back(s.tuple.neighbor);
 }
 
 }  // namespace manet::olsr

@@ -1,6 +1,7 @@
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -30,9 +31,20 @@ struct LinkTuple {
 
 /// Link sensing repository (§7). Pure state machine over HELLO receptions;
 /// the Agent feeds it and reacts to the reported transitions.
+///
+/// Storage is a flat slab: one vector of tuples sorted by neighbor id
+/// (lookup by binary search, scans are contiguous sweeps). The previous
+/// symmetry flag rides inside the tuple instead of a side map, and expiry
+/// is a single in-place compaction sweep. This is the hottest OLSR table —
+/// `symmetric_neighbors` runs on every HELLO build and every recompute —
+/// so the slab layout is what `BM_LinkSetScan` gauges.
 class LinkSet {
  public:
   enum class Change { kNone, kBecameSym, kBecameAsym, kLost };
+
+  /// Sentinel for "no pending timer-driven transition".
+  static constexpr sim::Time kNoTransition =
+      sim::Time::from_us(std::numeric_limits<std::int64_t>::max());
 
   /// Processes one received HELLO from `neighbor`. `lists_us` is whether our
   /// own address appears in the HELLO (with a non-LOST link code), which
@@ -50,11 +62,36 @@ class LinkSet {
   std::vector<NodeId> symmetric_neighbors(sim::Time now) const;
   /// Heard-only (ASYM) links — advertised so the peer can upgrade them.
   std::vector<NodeId> asymmetric_neighbors(sim::Time now) const;
+  /// Scratch-buffer variants (ascending neighbor id, `out` is replaced):
+  /// the Agent reuses per-instance buffers so HELLO build and recompute
+  /// never allocate in steady state.
+  void symmetric_neighbors(sim::Time now, std::vector<NodeId>& out) const;
+  void asymmetric_neighbors(sim::Time now, std::vector<NodeId>& out) const;
   std::size_t size() const { return links_.size(); }
 
+  /// Earliest future instant at which some tuple's *symmetry status* can
+  /// change without any new HELLO (a `sym_until`/`valid_until` boundary
+  /// crossing). Conservative: may under-estimate (triggering a recompute
+  /// that finds nothing changed) but never over-estimates, which is what
+  /// lets the Agent skip MPR/route recomputation between boundaries while
+  /// staying trace-identical to eager recomputation. The hint refreshes
+  /// itself (one O(n) sweep) once `now` passes it.
+  sim::Time next_transition(sim::Time now);
+
  private:
-  std::map<NodeId, LinkTuple> links_;
-  std::map<NodeId, bool> was_symmetric_;
+  struct Slot {
+    LinkTuple tuple;
+    bool was_symmetric = false;
+  };
+
+  // Sorted ascending by tuple.neighbor.
+  std::vector<Slot> links_;
+  sim::Time transition_hint_ = kNoTransition;
+
+  Slot* find(NodeId neighbor);
+  const Slot* find(NodeId neighbor) const;
+  void note_boundary(sim::Time now, const LinkTuple& t);
+  void rescan_hint(sim::Time now);
 };
 
 }  // namespace manet::olsr

@@ -1,28 +1,72 @@
 #include "olsr/mpr_selection.hpp"
 
 #include <algorithm>
-#include <vector>
 
 namespace manet::olsr {
 namespace {
 
-std::set<NodeId> all_two_hops(const MprInputs& in) {
-  std::set<NodeId> out;
-  for (const auto& [via, reach] : in.reach) out.insert(reach.begin(), reach.end());
-  return out;
+Willingness will_of(const MprInputs& in, NodeId n) {
+  auto it = std::lower_bound(
+      in.neighbors.begin(), in.neighbors.end(), n,
+      [](const auto& p, NodeId id) { return p.first < id; });
+  return (it != in.neighbors.end() && it->first == n) ? it->second
+                                                      : Willingness::kDefault;
+}
+
+const std::vector<NodeId>* reach_of(const MprInputs& in, NodeId via) {
+  auto it = std::lower_bound(
+      in.reach.begin(), in.reach.end(), via,
+      [](const auto& p, NodeId id) { return p.first < id; });
+  return (it != in.reach.end() && it->first == via) ? &it->second : nullptr;
+}
+
+bool sorted_contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::binary_search(v.begin(), v.end(), n);
+}
+
+void sorted_insert(std::vector<NodeId>& v, NodeId n) {
+  auto it = std::lower_bound(v.begin(), v.end(), n);
+  if (it == v.end() || *it != n) v.insert(it, n);
+}
+
+void all_two_hops(const MprInputs& in, std::vector<NodeId>& out) {
+  out.clear();
+  for (const auto& [via, reach] : in.reach)
+    out.insert(out.end(), reach.begin(), reach.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+// Number of elements of `reach` still present in `uncovered` (both sorted).
+std::size_t gain_of(const std::vector<NodeId>& reach,
+                    const std::vector<NodeId>& uncovered) {
+  std::size_t gain = 0;
+  auto u = uncovered.begin();
+  for (auto th : reach) {
+    u = std::lower_bound(u, uncovered.end(), th);
+    if (u == uncovered.end()) break;
+    if (*u == th) ++gain;
+  }
+  return gain;
 }
 
 }  // namespace
 
-std::set<NodeId> select_mprs(const MprInputs& in, bool prune_redundant) {
-  std::set<NodeId> mprs;
-  std::set<NodeId> uncovered = all_two_hops(in);
+void select_mprs(const MprInputs& in, bool prune_redundant,
+                 MprScratch& scratch, std::vector<NodeId>& out) {
+  out.clear();
+  auto& uncovered = scratch.uncovered;
+  auto& tmp = scratch.tmp;
+  all_two_hops(in, uncovered);
 
   auto cover_with = [&](NodeId n) {
-    mprs.insert(n);
-    auto it = in.reach.find(n);
-    if (it == in.reach.end()) return;
-    for (auto th : it->second) uncovered.erase(th);
+    sorted_insert(out, n);
+    const auto* reach = reach_of(in, n);
+    if (reach == nullptr) return;
+    tmp.clear();
+    std::set_difference(uncovered.begin(), uncovered.end(), reach->begin(),
+                        reach->end(), std::back_inserter(tmp));
+    uncovered.swap(tmp);
   };
 
   // Step 1: WILL_ALWAYS neighbors.
@@ -32,11 +76,21 @@ std::set<NodeId> select_mprs(const MprInputs& in, bool prune_redundant) {
   // Step 2: sole providers. A 2-hop node with exactly one reaching neighbor
   // forces that neighbor into the MPR set.
   {
-    std::map<NodeId, std::vector<NodeId>> providers;
+    auto& providers = scratch.providers;
+    providers.clear();
     for (const auto& [via, reach] : in.reach)
-      for (auto th : reach) providers[th].push_back(via);
-    for (const auto& [th, provs] : providers) {
-      if (provs.size() == 1 && uncovered.contains(th)) cover_with(provs[0]);
+      for (auto th : reach) providers.emplace_back(th, via);
+    std::sort(providers.begin(), providers.end());
+    providers.erase(std::unique(providers.begin(), providers.end()),
+                    providers.end());
+    for (std::size_t i = 0; i < providers.size();) {
+      std::size_t j = i;
+      while (j < providers.size() &&
+             providers[j].first == providers[i].first)
+        ++j;
+      if (j - i == 1 && sorted_contains(uncovered, providers[i].first))
+        cover_with(providers[i].second);
+      i = j;
     }
   }
 
@@ -48,14 +102,10 @@ std::set<NodeId> select_mprs(const MprInputs& in, bool prune_redundant) {
     std::size_t best_degree = 0;
 
     for (const auto& [via, reach] : in.reach) {
-      if (mprs.contains(via)) continue;
-      std::size_t gain = 0;
-      for (auto th : reach)
-        if (uncovered.contains(th)) ++gain;
+      if (sorted_contains(out, via)) continue;
+      const std::size_t gain = gain_of(reach, uncovered);
       if (gain == 0) continue;
-      const auto will = in.neighbors.contains(via)
-                            ? in.neighbors.at(via)
-                            : Willingness::kDefault;
+      const auto will = will_of(in, via);
       const std::size_t degree = reach.size();
       const bool better =
           gain > best_gain ||
@@ -78,38 +128,43 @@ std::set<NodeId> select_mprs(const MprInputs& in, bool prune_redundant) {
 
   if (prune_redundant) {
     // Drop MPRs (lowest willingness first) whose removal keeps full coverage.
-    std::vector<NodeId> candidates{mprs.begin(), mprs.end()};
+    std::vector<NodeId> candidates = out;
     std::sort(candidates.begin(), candidates.end(), [&](NodeId a, NodeId b) {
-      const auto wa = in.neighbors.contains(a) ? in.neighbors.at(a)
-                                               : Willingness::kDefault;
-      const auto wb = in.neighbors.contains(b) ? in.neighbors.at(b)
-                                               : Willingness::kDefault;
+      const auto wa = will_of(in, a);
+      const auto wb = will_of(in, b);
       if (wa != wb) return static_cast<int>(wa) < static_cast<int>(wb);
       return a < b;
     });
+    std::vector<NodeId> trial;
     for (auto n : candidates) {
-      const auto will = in.neighbors.contains(n) ? in.neighbors.at(n)
-                                                 : Willingness::kDefault;
-      if (will == Willingness::kAlways) continue;
-      auto trial = mprs;
-      trial.erase(n);
-      if (covers_all_two_hops(in, trial)) mprs = trial;
+      if (will_of(in, n) == Willingness::kAlways) continue;
+      trial = out;
+      trial.erase(std::lower_bound(trial.begin(), trial.end(), n));
+      if (covers_all_two_hops(in, trial)) out = trial;
     }
   }
-
-  return mprs;
 }
 
-bool covers_all_two_hops(const MprInputs& in, const std::set<NodeId>& mprs) {
-  std::set<NodeId> covered;
+std::vector<NodeId> select_mprs(const MprInputs& in, bool prune_redundant) {
+  MprScratch scratch;
+  std::vector<NodeId> out;
+  select_mprs(in, prune_redundant, scratch, out);
+  return out;
+}
+
+bool covers_all_two_hops(const MprInputs& in,
+                         const std::vector<NodeId>& mprs) {
+  std::vector<NodeId> covered;
   for (auto m : mprs) {
-    auto it = in.reach.find(m);
-    if (it == in.reach.end()) continue;
-    covered.insert(it->second.begin(), it->second.end());
+    const auto* reach = reach_of(in, m);
+    if (reach == nullptr) continue;
+    covered.insert(covered.end(), reach->begin(), reach->end());
   }
-  for (const auto& th : all_two_hops(in))
-    if (!covered.contains(th)) return false;
-  return true;
+  std::sort(covered.begin(), covered.end());
+  covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+  std::vector<NodeId> all;
+  all_two_hops(in, all);
+  return std::includes(covered.begin(), covered.end(), all.begin(), all.end());
 }
 
 }  // namespace manet::olsr

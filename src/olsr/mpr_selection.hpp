@@ -1,7 +1,7 @@
 #pragma once
 
-#include <map>
-#include <set>
+#include <utility>
+#include <vector>
 
 #include "net/node_id.hpp"
 #include "olsr/constants.hpp"
@@ -11,14 +11,28 @@ namespace manet::olsr {
 using net::NodeId;
 
 /// Inputs to MPR selection (RFC 3626 §8.3.1), decoupled from the tables so
-/// the heuristic is a pure, property-testable function.
+/// the heuristic is a pure, property-testable function. Both lists are flat
+/// sorted slabs (ascending by id / by via, inner lists ascending) so the
+/// selection runs on contiguous memory and the Agent can reuse the buffers
+/// across recomputes.
 struct MprInputs {
-  /// Symmetric 1-hop neighbors and their willingness (N in the RFC).
-  std::map<NodeId, Willingness> neighbors;
+  /// Symmetric 1-hop neighbors and their willingness (N in the RFC),
+  /// ascending by id.
+  std::vector<std::pair<NodeId, Willingness>> neighbors;
   /// For each 1-hop neighbor, the strict 2-hop nodes reachable through it
-  /// (derived from N2). Neighbors with willingness NEVER must be excluded by
-  /// the caller (NeighborTable::reachability already does).
-  std::map<NodeId, std::set<NodeId>> reach;
+  /// (derived from N2), ascending by via with sorted inner lists. Neighbors
+  /// with willingness NEVER must be excluded by the caller
+  /// (NeighborTable::reachability already does).
+  std::vector<std::pair<NodeId, std::vector<NodeId>>> reach;
+};
+
+/// Reusable working memory for select_mprs: the greedy cover repeatedly
+/// builds uncovered-sets and provider lists, and a per-agent scratch keeps
+/// those allocations out of the per-HELLO path.
+struct MprScratch {
+  std::vector<NodeId> uncovered;                    // sorted
+  std::vector<NodeId> tmp;                          // set-difference staging
+  std::vector<std::pair<NodeId, NodeId>> providers; // (two_hop, via)
 };
 
 /// RFC 3626 §8.3.1 heuristic:
@@ -29,11 +43,18 @@ struct MprInputs {
 ///     higher willingness, then larger total reach (degree), then lower id
 ///     (for determinism).
 /// An optional final pass drops redundant MPRs (coverage preserved).
-std::set<NodeId> select_mprs(const MprInputs& inputs,
-                             bool prune_redundant = false);
+/// The result is sorted ascending.
+std::vector<NodeId> select_mprs(const MprInputs& inputs,
+                                bool prune_redundant = false);
 
-/// True if `mprs` covers every strict 2-hop node of `inputs` — the safety
-/// property the paper's attack breaks from the victim's point of view.
-bool covers_all_two_hops(const MprInputs& inputs, const std::set<NodeId>& mprs);
+/// Scratch-buffer variant: `out` is replaced with the selected set.
+void select_mprs(const MprInputs& inputs, bool prune_redundant,
+                 MprScratch& scratch, std::vector<NodeId>& out);
+
+/// True if `mprs` (sorted ascending) covers every strict 2-hop node of
+/// `inputs` — the safety property the paper's attack breaks from the
+/// victim's point of view.
+bool covers_all_two_hops(const MprInputs& inputs,
+                         const std::vector<NodeId>& mprs);
 
 }  // namespace manet::olsr

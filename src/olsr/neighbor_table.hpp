@@ -1,8 +1,7 @@
 #pragma once
 
-#include <map>
 #include <optional>
-#include <set>
+#include <utility>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -30,9 +29,17 @@ struct TwoHopTuple {
 };
 
 /// 1-hop and 2-hop neighborhood repository. Fed by the Agent from HELLOs.
+///
+/// Both tables are flat sorted slabs: neighbors ascending by id, 2-hop
+/// tuples ascending by (via, two_hop). All lookups are binary searches, the
+/// per-via 2-hop set is one contiguous range, and iteration order matches
+/// the previous std::map layout exactly (the audit log depends on it).
+/// Mutators report whether they materially changed the table so the Agent
+/// can coalesce MPR/route recomputation behind dirty flags.
 class NeighborTable {
  public:
-  void upsert_neighbor(NodeId id, Willingness will, bool symmetric);
+  /// Returns true when the tuple is new or its willingness/symmetry differ.
+  bool upsert_neighbor(NodeId id, Willingness will, bool symmetric);
   void remove_neighbor(NodeId id);
   std::optional<NeighborTuple> neighbor(NodeId id) const;
   std::vector<NodeId> symmetric_neighbors() const;
@@ -40,29 +47,42 @@ class NeighborTable {
 
   /// Replaces the set of 2-hop neighbors advertised by `via` (the
   /// paper-relevant part: this is exactly the content an attacker forges).
-  void set_two_hops_via(NodeId via, const std::vector<NodeId>& two_hops,
+  /// Returns true when the *membership* changed — a pure validity refresh
+  /// (same nodes, newer expiry) returns false.
+  bool set_two_hops_via(NodeId via, const std::vector<NodeId>& two_hops,
                         sim::Time valid_until);
   void drop_two_hops_via(NodeId via);
-  void expire_two_hops(sim::Time now);
+  /// Returns true when any tuple was removed.
+  bool expire_two_hops(sim::Time now);
 
   /// Strict 2-hop neighbors: advertised by some symmetric neighbor,
   /// excluding `self` and excluding nodes that are themselves symmetric
-  /// 1-hop neighbors.
-  std::set<NodeId> strict_two_hops(NodeId self) const;
+  /// 1-hop neighbors. Sorted ascending.
+  std::vector<NodeId> strict_two_hops(NodeId self) const;
 
-  /// For MPR selection: via-neighbor -> set of strict 2-hop nodes reachable.
-  std::map<NodeId, std::set<NodeId>> reachability(NodeId self) const;
+  /// For MPR selection: (via neighbor, strict 2-hop nodes reachable through
+  /// it), ascending by via, inner lists sorted ascending. The scratch
+  /// overload fills caller-owned buffers so steady-state recomputes do not
+  /// allocate.
+  using Reachability = std::vector<std::pair<NodeId, std::vector<NodeId>>>;
+  Reachability reachability(NodeId self) const;
+  void reachability(NodeId self, Reachability& out) const;
 
-  /// All (via, two_hop) pairs currently valid (for logging/inspection).
-  std::vector<TwoHopTuple> two_hop_tuples() const;
+  /// All (via, two_hop) pairs currently valid (for logging/inspection),
+  /// ascending by (via, two_hop).
+  const std::vector<TwoHopTuple>& two_hop_tuples() const { return two_hops_; }
 
-  /// 2-hop neighbors advertised by a specific neighbor.
-  std::set<NodeId> two_hops_via(NodeId via) const;
+  /// 2-hop neighbors advertised by a specific neighbor, sorted ascending.
+  std::vector<NodeId> two_hops_via(NodeId via) const;
 
  private:
-  std::map<NodeId, NeighborTuple> neighbors_;
-  // Keyed by (via, two_hop).
-  std::map<std::pair<NodeId, NodeId>, TwoHopTuple> two_hops_;
+  bool is_symmetric_neighbor(NodeId id) const;
+  // Iterator range of two_hops_ advertised by `via`.
+  std::pair<std::size_t, std::size_t> via_range(NodeId via) const;
+
+  std::vector<NeighborTuple> neighbors_;  // sorted by id
+  std::vector<TwoHopTuple> two_hops_;     // sorted by (via, two_hop)
+  mutable std::vector<NodeId> scratch_;   // set_two_hops_via staging
 };
 
 }  // namespace manet::olsr

@@ -1,8 +1,10 @@
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <initializer_list>
 #include <optional>
-#include <set>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -12,11 +14,88 @@ namespace manet::olsr {
 using net::NodeId;
 
 /// Directed adjacency a node *believes* in: its link set, 2-hop set and
-/// the TC-derived topology set merged (§10). Keys may be absent for leaf
-/// nodes.
-using KnowledgeGraph = std::map<NodeId, std::set<NodeId>>;
+/// the TC-derived topology set merged (§10).
+///
+/// Arcs accumulate in a raw edge list; the first query compacts them into a
+/// CSR (sorted unique node list + offset/target arrays with dense indices),
+/// so building the graph per recompute is append-only and the BFS consumers
+/// run over contiguous index arrays instead of a map of sets. Adjacency
+/// lists come out ascending by node id — the same iteration order the old
+/// std::map<NodeId, std::set<NodeId>> gave, which the trace-pinned BFS
+/// tie-breaks rely on. Not thread-safe: the lazy build mutates cached
+/// state (one graph belongs to one replication).
+class KnowledgeGraph {
+ public:
+  static constexpr std::uint32_t kNpos = 0xFFFFFFFFu;
+
+  /// Adds the directed arc from -> to (duplicates are compacted away).
+  void add_arc(NodeId from, NodeId to) {
+    arcs_.emplace_back(from, to);
+    built_ = false;
+  }
+  /// Adds both directions of an undirected edge.
+  void add_edge(NodeId a, NodeId b) {
+    add_arc(a, b);
+    add_arc(b, a);
+  }
+  void reserve(std::size_t arcs) { arcs_.reserve(arcs); }
+  void clear() {
+    arcs_.clear();
+    nodes_.clear();
+    offsets_.clear();
+    targets_.clear();
+    built_ = true;
+  }
+
+  /// All endpoints mentioned by any arc, sorted ascending.
+  const std::vector<NodeId>& nodes() const {
+    build();
+    return nodes_;
+  }
+  std::size_t node_count() const {
+    build();
+    return nodes_.size();
+  }
+  std::size_t arc_count() const {
+    build();
+    return targets_.size();
+  }
+  NodeId id_at(std::uint32_t index) const {
+    build();
+    return nodes_[index];
+  }
+  /// Dense index of `id` in nodes(), or kNpos when absent.
+  std::uint32_t index_of(NodeId id) const;
+  /// Out-arc target indices of one node, ascending by target id.
+  std::span<const std::uint32_t> arcs_from(std::uint32_t node_index) const;
+  std::span<const std::uint32_t> offsets() const {
+    build();
+    return offsets_;
+  }
+  std::span<const std::uint32_t> targets() const {
+    build();
+    return targets_;
+  }
+
+ private:
+  void build() const;
+
+  mutable std::vector<std::pair<NodeId, NodeId>> arcs_;
+  mutable std::vector<NodeId> nodes_;           // sorted unique endpoints
+  mutable std::vector<std::uint32_t> offsets_;  // node_count() + 1
+  mutable std::vector<std::uint32_t> targets_;  // indices into nodes_
+  mutable bool built_ = true;  // an empty graph is trivially built
+};
 
 /// Routing table (§10): hop-count shortest paths over the knowledge graph.
+///
+/// Routes are dense arrays (distance + parent id) over the last graph's
+/// sorted node list. `recompute` keeps a snapshot of that graph: an
+/// identical graph is a no-op, a pure edge-addition superset reuses the
+/// previous shortest-path tree and only relaxes outward from the new arcs,
+/// and anything else falls back to a full BFS rebuild. All three paths
+/// yield identical distances and reachable sets, so the (added, removed)
+/// diff the agent logs is independent of which path ran.
 class RoutingTable {
  public:
   struct Entry {
@@ -33,7 +112,7 @@ class RoutingTable {
 
   std::optional<Entry> route_to(NodeId dest) const;
   std::vector<Entry> entries() const;
-  std::size_t size() const { return routes_.size(); }
+  std::size_t size() const { return dests_.size(); }
 
   /// Full relay sequence to `dest` (next hop first, dest last); nullopt if
   /// unreachable. Recomputed from the stored parent chain.
@@ -42,14 +121,38 @@ class RoutingTable {
   /// Shortest path over an arbitrary graph with nodes to avoid as relays
   /// (the destination itself may not be avoided). Used by the cooperative
   /// investigation to route around the suspicious MPR and colluders.
+  /// `avoid` must be sorted ascending; the span view replaces the old
+  /// std::set default argument that allocated a temporary per call.
   static std::optional<std::vector<NodeId>> shortest_path(
       const KnowledgeGraph& graph, NodeId from, NodeId to,
-      const std::set<NodeId>& avoid = {});
+      std::span<const NodeId> avoid = {});
+  static std::optional<std::vector<NodeId>> shortest_path(
+      const KnowledgeGraph& graph, NodeId from, NodeId to,
+      std::initializer_list<NodeId> avoid) {
+    return shortest_path(graph, from, to,
+                         std::span<const NodeId>{avoid.begin(), avoid.size()});
+  }
 
  private:
-  std::map<NodeId, Entry> routes_;
-  std::map<NodeId, NodeId> parent_;
+  static constexpr std::int32_t kUnreachable = -1;
+
+  void full_rebuild(const KnowledgeGraph& graph);
+  /// Relaxes from arcs present in `graph` but not in the snapshot. Only
+  /// valid when the snapshot's arc set is a subset of `graph`'s.
+  void relax_additions(
+      const KnowledgeGraph& graph,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& seeds);
+  std::uint32_t index_of(NodeId id) const;
+  void rebuild_dests(std::vector<NodeId>& out) const;
+
   NodeId self_;
+  std::vector<NodeId> node_ids_;  // snapshot of the last graph's node list
+  std::vector<std::uint32_t> offsets_;  // snapshot of the last graph's CSR
+  std::vector<std::uint32_t> targets_;
+  std::vector<std::int32_t> dist_;  // per node index; kUnreachable if none
+  std::vector<NodeId> parent_;      // per node index; invalid at roots
+  std::vector<NodeId> dests_;       // sorted reachable destinations (≠ self)
+  std::vector<std::uint32_t> queue_;  // BFS scratch
 };
 
 }  // namespace manet::olsr

@@ -1,5 +1,7 @@
 #include "olsr/topology_set.hpp"
 
+#include <algorithm>
+
 namespace manet::olsr {
 namespace {
 
@@ -10,50 +12,74 @@ bool seq_newer(std::uint16_t a, std::uint16_t b) {
 
 }  // namespace
 
-bool TopologySet::on_tc(sim::Time now, NodeId originator, std::uint16_t ansn,
-                        const std::vector<NodeId>& advertised,
-                        sim::Duration vtime) {
-  auto it = latest_ansn_.find(originator);
-  if (it != latest_ansn_.end() && seq_newer(it->second, ansn)) return false;
-  latest_ansn_[originator] = ansn;
+std::pair<std::size_t, std::size_t> TopologySet::origin_range(
+    NodeId originator) const {
+  const auto lo = std::lower_bound(
+      tuples_.begin(), tuples_.end(), originator,
+      [](const TopologyTuple& t, NodeId o) { return t.last_hop < o; });
+  auto hi = lo;
+  while (hi != tuples_.end() && hi->last_hop == originator) ++hi;
+  return {static_cast<std::size_t>(lo - tuples_.begin()),
+          static_cast<std::size_t>(hi - tuples_.begin())};
+}
+
+TopologySet::TcResult TopologySet::on_tc(sim::Time now, NodeId originator,
+                                         std::uint16_t ansn,
+                                         const std::vector<NodeId>& advertised,
+                                         sim::Duration vtime) {
+  auto ansn_it = std::lower_bound(
+      latest_ansn_.begin(), latest_ansn_.end(), originator,
+      [](const auto& p, NodeId o) { return p.first < o; });
+  if (ansn_it != latest_ansn_.end() && ansn_it->first == originator) {
+    if (seq_newer(ansn_it->second, ansn)) return {};
+    ansn_it->second = ansn;
+  } else {
+    latest_ansn_.insert(ansn_it, {originator, ansn});
+  }
+
+  auto [lo, hi] = origin_range(originator);
+  scratch_before_.clear();
+  for (std::size_t i = lo; i < hi; ++i)
+    scratch_before_.push_back(tuples_[i].dest);
 
   // §9.5: remove older tuples from this originator, then record new ones.
-  for (auto t = tuples_.begin(); t != tuples_.end();) {
-    if (t->first.first == originator && seq_newer(ansn, t->second.ansn))
-      t = tuples_.erase(t);
-    else
-      ++t;
-  }
+  const auto removed_begin = std::stable_partition(
+      tuples_.begin() + lo, tuples_.begin() + hi,
+      [ansn](const TopologyTuple& t) { return !seq_newer(ansn, t.ansn); });
+  hi = static_cast<std::size_t>(
+      tuples_.erase(removed_begin, tuples_.begin() + hi) - tuples_.begin());
+
   for (auto dest : advertised) {
-    auto& tuple = tuples_[{originator, dest}];
-    tuple.last_hop = originator;
-    tuple.dest = dest;
-    tuple.ansn = ansn;
-    tuple.valid_until = now + vtime;
+    auto it = std::lower_bound(
+        tuples_.begin() + lo, tuples_.begin() + hi, dest,
+        [](const TopologyTuple& t, NodeId d) { return t.dest < d; });
+    if (it != tuples_.begin() + hi && it->dest == dest) {
+      it->ansn = ansn;
+      it->valid_until = now + vtime;
+    } else {
+      tuples_.insert(it, TopologyTuple{dest, originator, ansn, now + vtime});
+      ++hi;
+    }
   }
-  return true;
+
+  scratch_after_.clear();
+  for (std::size_t i = lo; i < hi; ++i)
+    scratch_after_.push_back(tuples_[i].dest);
+  return {true, scratch_before_ != scratch_after_};
 }
 
-void TopologySet::expire(sim::Time now) {
-  for (auto it = tuples_.begin(); it != tuples_.end();) {
-    if (it->second.valid_until <= now)
-      it = tuples_.erase(it);
-    else
-      ++it;
-  }
-}
-
-std::vector<TopologyTuple> TopologySet::tuples() const {
-  std::vector<TopologyTuple> out;
-  out.reserve(tuples_.size());
-  for (const auto& [_, t] : tuples_) out.push_back(t);
-  return out;
+bool TopologySet::expire(sim::Time now) {
+  const auto before = tuples_.size();
+  std::erase_if(tuples_,
+                [now](const TopologyTuple& t) { return t.valid_until <= now; });
+  return tuples_.size() != before;
 }
 
 std::vector<NodeId> TopologySet::advertised_by(NodeId last_hop) const {
+  const auto [lo, hi] = origin_range(last_hop);
   std::vector<NodeId> out;
-  for (const auto& [key, t] : tuples_)
-    if (key.first == last_hop) out.push_back(t.dest);
+  out.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) out.push_back(tuples_[i].dest);
   return out;
 }
 

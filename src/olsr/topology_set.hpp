@@ -1,7 +1,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "net/node_id.hpp"
@@ -21,27 +21,45 @@ struct TopologyTuple {
 };
 
 /// Topology information base built from TC flooding (§9.5 processing rules).
+///
+/// Tuples live in one flat slab sorted by (last_hop, dest): an originator's
+/// advertisements form a contiguous range, so a TC replaces one range
+/// in-place and `advertised_by` is a single range scan. Iteration order
+/// matches the previous (last_hop, dest)-keyed std::map exactly.
 class TopologySet {
  public:
-  /// Applies one received TC. Returns false when the TC is stale (older
-  /// ANSN than already recorded for this originator) and was ignored.
-  bool on_tc(sim::Time now, NodeId originator, std::uint16_t ansn,
-             const std::vector<NodeId>& advertised, sim::Duration vtime);
+  struct TcResult {
+    /// False when the TC was stale (older ANSN than already recorded for
+    /// this originator) and was ignored.
+    bool applied = false;
+    /// True when the originator's advertised edge *set* materially changed
+    /// (not a mere ANSN/validity refresh of the same destinations) — the
+    /// signal the Agent's route-recompute dirty flag keys off.
+    bool changed = false;
+  };
 
-  void expire(sim::Time now);
+  /// Applies one received TC (§9.5).
+  TcResult on_tc(sim::Time now, NodeId originator, std::uint16_t ansn,
+                 const std::vector<NodeId>& advertised, sim::Duration vtime);
 
-  /// Edges (last_hop -> dest) currently valid.
-  std::vector<TopologyTuple> tuples() const;
+  /// Returns true when any tuple was removed.
+  bool expire(sim::Time now);
 
-  /// Destinations advertised by one originator.
+  /// Edges (last_hop -> dest) currently valid, sorted by (last_hop, dest).
+  const std::vector<TopologyTuple>& tuples() const { return tuples_; }
+
+  /// Destinations advertised by one originator, sorted ascending.
   std::vector<NodeId> advertised_by(NodeId last_hop) const;
 
   std::size_t size() const { return tuples_.size(); }
 
  private:
-  // Keyed by (last_hop, dest).
-  std::map<std::pair<NodeId, NodeId>, TopologyTuple> tuples_;
-  std::map<NodeId, std::uint16_t> latest_ansn_;
+  std::pair<std::size_t, std::size_t> origin_range(NodeId originator) const;
+
+  std::vector<TopologyTuple> tuples_;  // sorted by (last_hop, dest)
+  std::vector<std::pair<NodeId, std::uint16_t>> latest_ansn_;  // sorted by id
+  std::vector<NodeId> scratch_before_;  // dest sets for change detection
+  std::vector<NodeId> scratch_after_;
 };
 
 }  // namespace manet::olsr

@@ -6,6 +6,17 @@
 #include "stats/entropy.hpp"
 
 namespace manet::trust {
+namespace {
+
+/// lower_bound over a slab of subject-keyed pairs.
+template <typename Slab>
+auto slab_find(Slab& slab, NodeId subject) {
+  return std::lower_bound(
+      slab.begin(), slab.end(), subject,
+      [](const auto& entry, NodeId s) { return entry.first < s; });
+}
+
+}  // namespace
 
 TrustStore::TrustStore(TrustParams params) : params_{params} {
   if (params_.min_trust >= params_.max_trust)
@@ -15,13 +26,25 @@ TrustStore::TrustStore(TrustParams params) : params_{params} {
 }
 
 double TrustStore::trust(NodeId subject) const {
-  auto it = trust_.find(subject);
-  return it == trust_.end() ? params_.default_trust : it->second;
+  auto it = slab_find(trust_, subject);
+  return it == trust_.end() || it->first != subject ? params_.default_trust
+                                                    : it->second;
 }
 
 void TrustStore::set_trust(NodeId subject, double value) {
-  trust_[subject] =
+  const double clamped =
       std::clamp(value, params_.min_trust, params_.max_trust);
+  auto it = slab_find(trust_, subject);
+  if (it != trust_.end() && it->first == subject) {
+    it->second = clamped;
+  } else {
+    trust_.insert(it, {subject, clamped});
+  }
+}
+
+bool TrustStore::known(NodeId subject) const {
+  auto it = slab_find(trust_, subject);
+  return it != trust_.end() && it->first == subject;
 }
 
 double TrustStore::apply_evidence(NodeId subject,
@@ -44,21 +67,36 @@ double TrustStore::decay_idle(NodeId subject) {
 }
 
 void TrustStore::decay_all_idle() {
-  for (auto& [subject, _] : trust_) decay_idle(subject);
+  // In-place sweep: every entry already exists, so decay never inserts and
+  // the slab stays sorted while we mutate values only.
+  for (auto& [subject, value] : trust_) {
+    const double target = params_.default_trust;
+    const double rate = value > target ? params_.idle_rate_from_above
+                                       : params_.idle_rate_from_below;
+    value = std::clamp(value + rate * (target - value), params_.min_trust,
+                       params_.max_trust);
+  }
 }
 
 void TrustStore::record_interaction(NodeId subject, bool positive) {
-  auto& c = interactions_[subject];
-  ++c.total;
-  if (positive) ++c.positive;
+  auto it = std::lower_bound(
+      interactions_.begin(), interactions_.end(), subject,
+      [](const Counter& c, NodeId s) { return c.subject < s; });
+  if (it == interactions_.end() || it->subject != subject)
+    it = interactions_.insert(it, Counter{subject, 0, 0});
+  ++it->total;
+  if (positive) ++it->positive;
 }
 
 double TrustStore::recommendation_trust(NodeId subject) const {
-  auto it = interactions_.find(subject);
+  auto it = std::lower_bound(
+      interactions_.begin(), interactions_.end(), subject,
+      [](const Counter& c, NodeId s) { return c.subject < s; });
   // Laplace smoothing keeps p off the 0/1 poles and yields the maximally
   // uncertain p=0.5 (trust 0) for never-seen recommenders.
-  const int positive = it == interactions_.end() ? 0 : it->second.positive;
-  const int total = it == interactions_.end() ? 0 : it->second.total;
+  const bool found = it != interactions_.end() && it->subject == subject;
+  const int positive = found ? it->positive : 0;
+  const int total = found ? it->total : 0;
   const double p =
       (static_cast<double>(positive) + 1.0) / (static_cast<double>(total) + 2.0);
   return stats::entropy_trust(p);

@@ -1,7 +1,8 @@
 #pragma once
 
-#include <map>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "trust/evidence.hpp"
 
@@ -34,6 +35,11 @@ struct TrustParams {
 /// Per-observer trust state over all subjects: T^{A,I} maintained per
 /// Eq. 5, plus the interaction counters feeding the entropy-based
 /// recommendation trust R^{A,S} of Eqs. 6-7.
+///
+/// Both tables are flat slabs sorted by subject id (same layout as the
+/// OLSR tables): binary-search point lookups, and the whole-store sweeps
+/// (decay_all_idle, subjects) walk contiguous memory in ascending order —
+/// identical iteration order to the former std::map storage.
 class TrustStore {
  public:
   explicit TrustStore(TrustParams params = {});
@@ -43,7 +49,7 @@ class TrustStore {
   /// Current trust in a subject; unknown subjects get default_trust.
   double trust(NodeId subject) const;
   void set_trust(NodeId subject, double value);
-  bool known(NodeId subject) const { return trust_.contains(subject); }
+  bool known(NodeId subject) const;
 
   /// Eq. 5 for one slot: T <- sum_j alpha_j e_j + beta T_prev, clamped to
   /// [min_trust, max_trust].
@@ -72,12 +78,13 @@ class TrustStore {
 
  private:
   TrustParams params_;
-  std::map<NodeId, double> trust_;
+  std::vector<std::pair<NodeId, double>> trust_;  // sorted by subject
   struct Counter {
+    NodeId subject;
     int positive = 0;
     int total = 0;
   };
-  std::map<NodeId, Counter> interactions_;
+  std::vector<Counter> interactions_;  // sorted by subject
 };
 
 }  // namespace manet::trust

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "olsr/mpr_selection.hpp"
 #include "sim/rng.hpp"
 
@@ -12,86 +14,118 @@ namespace {
 
 NodeId n(std::uint32_t v) { return NodeId{v}; }
 
+// Builders keeping the flat MprInputs slabs sorted the way the agent does.
+void set_will(MprInputs& in, NodeId id, Willingness w) {
+  auto it = std::lower_bound(
+      in.neighbors.begin(), in.neighbors.end(), id,
+      [](const auto& p, NodeId v) { return p.first < v; });
+  if (it != in.neighbors.end() && it->first == id) {
+    it->second = w;
+  } else {
+    in.neighbors.insert(it, {id, w});
+  }
+}
+
+void add_reach(MprInputs& in, NodeId via, NodeId two_hop) {
+  auto it = std::lower_bound(
+      in.reach.begin(), in.reach.end(), via,
+      [](const auto& p, NodeId v) { return p.first < v; });
+  if (it == in.reach.end() || it->first != via)
+    it = in.reach.insert(it, {via, {}});
+  auto& ths = it->second;
+  auto pos = std::lower_bound(ths.begin(), ths.end(), two_hop);
+  if (pos == ths.end() || *pos != two_hop) ths.insert(pos, two_hop);
+}
+
+bool contains(const std::vector<NodeId>& sorted, NodeId id) {
+  return std::binary_search(sorted.begin(), sorted.end(), id);
+}
+
 TEST(MprSelection, EmptyInputsEmptyMprs) {
   EXPECT_TRUE(select_mprs(MprInputs{}).empty());
 }
 
 TEST(MprSelection, NoTwoHopsNoMprs) {
   MprInputs in;
-  in.neighbors[n(1)] = Willingness::kDefault;
-  in.neighbors[n(2)] = Willingness::kDefault;
+  set_will(in, n(1), Willingness::kDefault);
+  set_will(in, n(2), Willingness::kDefault);
   EXPECT_TRUE(select_mprs(in).empty());
 }
 
 TEST(MprSelection, WillAlwaysIsAlwaysSelected) {
   MprInputs in;
-  in.neighbors[n(1)] = Willingness::kAlways;
-  in.neighbors[n(2)] = Willingness::kDefault;
-  in.reach[n(2)] = {n(10)};
+  set_will(in, n(1), Willingness::kAlways);
+  set_will(in, n(2), Willingness::kDefault);
+  add_reach(in, n(2), n(10));
   const auto mprs = select_mprs(in);
-  EXPECT_TRUE(mprs.contains(n(1)));
-  EXPECT_TRUE(mprs.contains(n(2)));
+  EXPECT_TRUE(contains(mprs, n(1)));
+  EXPECT_TRUE(contains(mprs, n(2)));
 }
 
 TEST(MprSelection, SoleProviderForced) {
   MprInputs in;
-  in.neighbors[n(1)] = Willingness::kDefault;
-  in.neighbors[n(2)] = Willingness::kDefault;
-  in.reach[n(1)] = {n(10), n(11)};
-  in.reach[n(2)] = {n(11), n(12)};  // only n2 reaches n12
+  set_will(in, n(1), Willingness::kDefault);
+  set_will(in, n(2), Willingness::kDefault);
+  add_reach(in, n(1), n(10));
+  add_reach(in, n(1), n(11));
+  add_reach(in, n(2), n(11));
+  add_reach(in, n(2), n(12));  // only n2 reaches n12
   const auto mprs = select_mprs(in);
-  EXPECT_TRUE(mprs.contains(n(2)));
+  EXPECT_TRUE(contains(mprs, n(2)));
 }
 
 TEST(MprSelection, GreedyPrefersLargerCoverage) {
   MprInputs in;
   for (std::uint32_t i = 1; i <= 3; ++i)
-    in.neighbors[n(i)] = Willingness::kDefault;
-  in.reach[n(1)] = {n(10), n(11), n(12)};
-  in.reach[n(2)] = {n(10)};
-  in.reach[n(3)] = {n(11)};
+    set_will(in, n(i), Willingness::kDefault);
+  add_reach(in, n(1), n(10));
+  add_reach(in, n(1), n(11));
+  add_reach(in, n(1), n(12));
+  add_reach(in, n(2), n(10));
+  add_reach(in, n(3), n(11));
   const auto mprs = select_mprs(in);
-  EXPECT_EQ(mprs, (std::set<NodeId>{n(1)}));
+  EXPECT_EQ(mprs, (std::vector<NodeId>{n(1)}));
 }
 
 TEST(MprSelection, TieBrokenByWillingness) {
   MprInputs in;
-  in.neighbors[n(1)] = Willingness::kLow;
-  in.neighbors[n(2)] = Willingness::kHigh;
-  in.reach[n(1)] = {n(10)};
-  in.reach[n(2)] = {n(10)};
+  set_will(in, n(1), Willingness::kLow);
+  set_will(in, n(2), Willingness::kHigh);
+  add_reach(in, n(1), n(10));
+  add_reach(in, n(2), n(10));
   const auto mprs = select_mprs(in);
-  EXPECT_EQ(mprs, (std::set<NodeId>{n(2)}));
+  EXPECT_EQ(mprs, (std::vector<NodeId>{n(2)}));
 }
 
 TEST(MprSelection, TieBrokenByIdForDeterminism) {
   MprInputs in;
-  in.neighbors[n(5)] = Willingness::kDefault;
-  in.neighbors[n(2)] = Willingness::kDefault;
-  in.reach[n(5)] = {n(10)};
-  in.reach[n(2)] = {n(10)};
-  EXPECT_EQ(select_mprs(in), (std::set<NodeId>{n(2)}));
+  set_will(in, n(5), Willingness::kDefault);
+  set_will(in, n(2), Willingness::kDefault);
+  add_reach(in, n(5), n(10));
+  add_reach(in, n(2), n(10));
+  EXPECT_EQ(select_mprs(in), (std::vector<NodeId>{n(2)}));
 }
 
 TEST(MprSelection, UnreachableTwoHopDoesNotLoopForever) {
   MprInputs in;
-  in.neighbors[n(1)] = Willingness::kDefault;
-  in.reach[n(1)] = {n(10)};
+  set_will(in, n(1), Willingness::kDefault);
+  add_reach(in, n(1), n(10));
   // n11 appears via a neighbor with no entry in `neighbors` — a degenerate
   // input; the loop must terminate with partial coverage.
-  in.reach[n(99)] = {n(11)};
+  add_reach(in, n(99), n(11));
   const auto mprs = select_mprs(in);
-  EXPECT_TRUE(mprs.contains(n(1)));
+  EXPECT_TRUE(contains(mprs, n(1)));
 }
 
 TEST(MprSelection, PruneRemovesRedundant) {
   MprInputs in;
   for (std::uint32_t i = 1; i <= 3; ++i)
-    in.neighbors[n(i)] = Willingness::kDefault;
+    set_will(in, n(i), Willingness::kDefault);
   // n1 covers everything; n2/n3 cover subsets.
-  in.reach[n(1)] = {n(10), n(11)};
-  in.reach[n(2)] = {n(10)};
-  in.reach[n(3)] = {n(11)};
+  add_reach(in, n(1), n(10));
+  add_reach(in, n(1), n(11));
+  add_reach(in, n(2), n(10));
+  add_reach(in, n(3), n(11));
   auto pruned = select_mprs(in, /*prune_redundant=*/true);
   EXPECT_TRUE(covers_all_two_hops(in, pruned));
   EXPECT_EQ(pruned.size(), 1u);
@@ -99,10 +133,10 @@ TEST(MprSelection, PruneRemovesRedundant) {
 
 TEST(MprSelection, CoversAllTwoHopsDetectsGaps) {
   MprInputs in;
-  in.neighbors[n(1)] = Willingness::kDefault;
-  in.neighbors[n(2)] = Willingness::kDefault;
-  in.reach[n(1)] = {n(10)};
-  in.reach[n(2)] = {n(11)};
+  set_will(in, n(1), Willingness::kDefault);
+  set_will(in, n(2), Willingness::kDefault);
+  add_reach(in, n(1), n(10));
+  add_reach(in, n(2), n(11));
   EXPECT_FALSE(covers_all_two_hops(in, {n(1)}));
   EXPECT_TRUE(covers_all_two_hops(in, {n(1), n(2)}));
 }
@@ -113,13 +147,33 @@ TEST(MprSelection, CoversAllTwoHopsDetectsGaps) {
 TEST(MprSelection, PhantomNeighborForcesAttackerSelection) {
   MprInputs in;
   for (std::uint32_t i = 1; i <= 4; ++i)
-    in.neighbors[n(i)] = Willingness::kDefault;
-  in.reach[n(1)] = {n(10), n(11)};
-  in.reach[n(2)] = {n(10), n(11)};
+    set_will(in, n(i), Willingness::kDefault);
+  add_reach(in, n(1), n(10));
+  add_reach(in, n(1), n(11));
+  add_reach(in, n(2), n(10));
+  add_reach(in, n(2), n(11));
   // The attacker n4 has poor real coverage but invents phantom n99.
-  in.reach[n(4)] = {n(99)};
+  add_reach(in, n(4), n(99));
   const auto mprs = select_mprs(in);
-  EXPECT_TRUE(mprs.contains(n(4)));
+  EXPECT_TRUE(contains(mprs, n(4)));
+}
+
+// The scratch overload must agree with the plain one (the agent uses the
+// former; tests mostly exercise the latter).
+TEST(MprSelection, ScratchOverloadMatchesPlain) {
+  MprInputs in;
+  for (std::uint32_t i = 1; i <= 4; ++i)
+    set_will(in, n(i), Willingness::kDefault);
+  add_reach(in, n(1), n(10));
+  add_reach(in, n(2), n(10));
+  add_reach(in, n(2), n(11));
+  add_reach(in, n(3), n(12));
+  MprScratch scratch;
+  std::vector<NodeId> out{n(77)};  // stale content must be cleared
+  select_mprs(in, /*prune_redundant=*/false, scratch, out);
+  EXPECT_EQ(out, select_mprs(in));
+  select_mprs(in, /*prune_redundant=*/true, scratch, out);
+  EXPECT_EQ(out, select_mprs(in, /*prune_redundant=*/true));
 }
 
 // Property sweep: for random neighborhoods, the selected MPR set always
@@ -137,7 +191,7 @@ TEST_P(MprProperty, CoverageInvariants) {
     const auto w = std::vector<Willingness>{
         Willingness::kLow, Willingness::kDefault, Willingness::kHigh,
         Willingness::kAlways}[static_cast<std::size_t>(rng.uniform_int(0, 3))];
-    in.neighbors[n(static_cast<std::uint32_t>(i))] = w;
+    set_will(in, n(static_cast<std::uint32_t>(i)), w);
   }
   for (int j = 0; j < n2_count; ++j) {
     const auto two_hop = n(static_cast<std::uint32_t>(100 + j));
@@ -145,21 +199,27 @@ TEST_P(MprProperty, CoverageInvariants) {
     for (int k = 0; k < providers; ++k) {
       const auto via =
           n(static_cast<std::uint32_t>(rng.uniform_int(1, n1_count)));
-      in.reach[via].insert(two_hop);
+      add_reach(in, via, two_hop);
     }
   }
 
   const auto mprs = select_mprs(in);
   EXPECT_TRUE(covers_all_two_hops(in, mprs));
-  for (auto m : mprs) EXPECT_TRUE(in.neighbors.contains(m));
+  EXPECT_TRUE(std::is_sorted(mprs.begin(), mprs.end()));
+  for (auto m : mprs) {
+    const auto it = std::lower_bound(
+        in.neighbors.begin(), in.neighbors.end(), m,
+        [](const auto& p, NodeId v) { return p.first < v; });
+    EXPECT_TRUE(it != in.neighbors.end() && it->first == m);
+  }
 
   const auto pruned = select_mprs(in, /*prune_redundant=*/true);
   EXPECT_TRUE(covers_all_two_hops(in, pruned));
   EXPECT_LE(pruned.size(), mprs.size());
   // WILL_ALWAYS members survive pruning.
   for (const auto& [id, w] : in.neighbors) {
-    if (w == Willingness::kAlways && mprs.contains(id)) {
-      EXPECT_TRUE(pruned.contains(id));
+    if (w == Willingness::kAlways && contains(mprs, id)) {
+      EXPECT_TRUE(contains(pruned, id));
     }
   }
 }

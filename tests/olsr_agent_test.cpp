@@ -63,8 +63,8 @@ TEST(Agent, ChainMiddleNodesAreMprs) {
   net.start_all();
   net.run_for(sim::Duration::from_seconds(20.0));
   // n1 must be the MPR of both ends (sole provider of the other end).
-  EXPECT_TRUE(net.agent(0).mpr_set().contains(Network::id_of(1)));
-  EXPECT_TRUE(net.agent(2).mpr_set().contains(Network::id_of(1)));
+  EXPECT_TRUE(net.agent(0).is_mpr(Network::id_of(1)));
+  EXPECT_TRUE(net.agent(2).is_mpr(Network::id_of(1)));
   // ...and n1 must know it was selected.
   const auto selectors = net.agent(1).mpr_selectors();
   EXPECT_EQ(selectors.size(), 2u);

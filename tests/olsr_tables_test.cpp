@@ -1,7 +1,16 @@
 // Unit tests for the OLSR information bases: link set, neighbor/2-hop
 // tables, topology set, duplicate set, MID/HNA sets, routing table.
+//
+// The flat-slab storage (PR 6) is additionally pinned against reference
+// map/set implementations by a randomized 50-seed equivalence suite at the
+// bottom of this file.
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
 
 #include "olsr/assoc_sets.hpp"
 #include "olsr/duplicate_set.hpp"
@@ -9,6 +18,7 @@
 #include "olsr/neighbor_table.hpp"
 #include "olsr/routing_table.hpp"
 #include "olsr/topology_set.hpp"
+#include "sim/rng.hpp"
 
 namespace manet::olsr {
 namespace {
@@ -16,6 +26,13 @@ namespace {
 constexpr auto kVtime = sim::Duration::from_seconds(6.0);
 
 sim::Time t(double s) { return sim::Time::from_seconds(s); }
+
+std::vector<NodeId> reach_of(const NeighborTable::Reachability& reach,
+                             NodeId via) {
+  for (const auto& [v, ths] : reach)
+    if (v == via) return ths;
+  return {};
+}
 
 TEST(LinkSet, HeardOnlyIsAsymmetric) {
   LinkSet ls;
@@ -67,9 +84,55 @@ TEST(LinkSet, RefreshKeepsLinkAlive) {
   EXPECT_TRUE(ls.is_symmetric(t(20), NodeId{1}));
 }
 
+TEST(LinkSet, ReAddAfterExpireStartsFresh) {
+  // A neighbor that expired out of the slab and comes back must be treated
+  // as brand new: the compaction sweep must not leave stale state behind.
+  LinkSet ls;
+  ls.on_hello(t(0), NodeId{1}, true, false, kVtime);
+  ls.expire(t(7));
+  ASSERT_EQ(ls.size(), 0u);
+  const auto change = ls.on_hello(t(10), NodeId{1}, false, false, kVtime);
+  EXPECT_EQ(change, LinkSet::Change::kBecameAsym);
+  EXPECT_FALSE(ls.is_symmetric(t(10), NodeId{1}));
+  EXPECT_EQ(ls.size(), 1u);
+  // Upgrading again works exactly like the first time.
+  EXPECT_EQ(ls.on_hello(t(11), NodeId{1}, true, false, kVtime),
+            LinkSet::Change::kBecameSym);
+}
+
+TEST(LinkSet, VtimeBoundaryIsExclusive) {
+  // symmetric() is sym_until > now and expiry is valid_until <= now: at the
+  // exact boundary instant the link is already down/gone. The slab sweep
+  // must agree with the point lookups.
+  LinkSet ls;
+  ls.on_hello(t(0), NodeId{1}, true, false, kVtime);
+  EXPECT_TRUE(ls.is_symmetric(t(5.999999), NodeId{1}));
+  EXPECT_FALSE(ls.is_symmetric(t(6.0), NodeId{1}));
+  EXPECT_TRUE(ls.symmetric_neighbors(t(6.0)).empty());
+  const auto lost = ls.expire(t(6.0));
+  EXPECT_EQ(lost, (std::vector<NodeId>{NodeId{1}}));
+  EXPECT_EQ(ls.size(), 0u);
+}
+
+TEST(LinkSet, NextTransitionTracksEarliestBoundary) {
+  LinkSet ls;
+  EXPECT_EQ(ls.next_transition(t(0)), LinkSet::kNoTransition);
+  ls.on_hello(t(0), NodeId{1}, true, false, kVtime);
+  ls.on_hello(t(1), NodeId{2}, true, false, kVtime);
+  // Earliest boundary is n1's sym_until at t=6.
+  EXPECT_EQ(ls.next_transition(t(2)), t(6));
+  // Past it, the hint re-scans to n2's boundary at t=7.
+  EXPECT_EQ(ls.next_transition(t(6)), t(7));
+  // The hint is conservative: refreshing n1 must never push it late.
+  ls.on_hello(t(6.5), NodeId{1}, true, false, kVtime);
+  EXPECT_LE(ls.next_transition(t(6.5)), t(7));
+}
+
 TEST(NeighborTable, UpsertAndRemove) {
   NeighborTable nt;
-  nt.upsert_neighbor(NodeId{1}, Willingness::kHigh, true);
+  EXPECT_TRUE(nt.upsert_neighbor(NodeId{1}, Willingness::kHigh, true));
+  // A verbatim repeat changes nothing.
+  EXPECT_FALSE(nt.upsert_neighbor(NodeId{1}, Willingness::kHigh, true));
   ASSERT_TRUE(nt.neighbor(NodeId{1}).has_value());
   EXPECT_EQ(nt.willingness_of(NodeId{1}), Willingness::kHigh);
   EXPECT_EQ(nt.symmetric_neighbors(), (std::vector<NodeId>{NodeId{1}}));
@@ -84,7 +147,7 @@ TEST(NeighborTable, StrictTwoHopsExcludesSelfAndNeighbors) {
   // n1 advertises: me (n0), n2 (also my neighbor), n3 (true 2-hop).
   nt.set_two_hops_via(NodeId{1}, {NodeId{0}, NodeId{2}, NodeId{3}}, t(100));
   const auto strict = nt.strict_two_hops(NodeId{0});
-  EXPECT_EQ(strict, (std::set<NodeId>{NodeId{3}}));
+  EXPECT_EQ(strict, (std::vector<NodeId>{NodeId{3}}));
 }
 
 TEST(NeighborTable, TwoHopsViaNonSymmetricNeighborIgnored) {
@@ -101,8 +164,8 @@ TEST(NeighborTable, ReachabilityExcludesWillNever) {
   nt.set_two_hops_via(NodeId{1}, {NodeId{5}}, t(100));
   nt.set_two_hops_via(NodeId{2}, {NodeId{5}}, t(100));
   const auto reach = nt.reachability(NodeId{0});
-  EXPECT_FALSE(reach.contains(NodeId{1}));
-  EXPECT_TRUE(reach.contains(NodeId{2}));
+  EXPECT_TRUE(reach_of(reach, NodeId{1}).empty());
+  EXPECT_EQ(reach_of(reach, NodeId{2}), (std::vector<NodeId>{NodeId{5}}));
 }
 
 TEST(NeighborTable, TwoHopExpiry) {
@@ -110,47 +173,79 @@ TEST(NeighborTable, TwoHopExpiry) {
   nt.upsert_neighbor(NodeId{1}, Willingness::kDefault, true);
   nt.set_two_hops_via(NodeId{1}, {NodeId{3}}, t(5));
   EXPECT_EQ(nt.two_hops_via(NodeId{1}).size(), 1u);
-  nt.expire_two_hops(t(6));
+  EXPECT_TRUE(nt.expire_two_hops(t(6)));
   EXPECT_TRUE(nt.two_hops_via(NodeId{1}).empty());
+  // Nothing left to remove: the sweep reports no change.
+  EXPECT_FALSE(nt.expire_two_hops(t(7)));
 }
 
 TEST(NeighborTable, SetTwoHopsReplacesOldAdvertisement) {
   NeighborTable nt;
   nt.upsert_neighbor(NodeId{1}, Willingness::kDefault, true);
-  nt.set_two_hops_via(NodeId{1}, {NodeId{3}, NodeId{4}}, t(100));
-  nt.set_two_hops_via(NodeId{1}, {NodeId{5}}, t(100));
-  EXPECT_EQ(nt.two_hops_via(NodeId{1}), (std::set<NodeId>{NodeId{5}}));
+  EXPECT_TRUE(nt.set_two_hops_via(NodeId{1}, {NodeId{3}, NodeId{4}}, t(100)));
+  EXPECT_TRUE(nt.set_two_hops_via(NodeId{1}, {NodeId{5}}, t(100)));
+  EXPECT_EQ(nt.two_hops_via(NodeId{1}), (std::vector<NodeId>{NodeId{5}}));
+  // Same membership, fresher expiry: a refresh, not a change.
+  EXPECT_FALSE(nt.set_two_hops_via(NodeId{1}, {NodeId{5}}, t(200)));
+  EXPECT_FALSE(nt.expire_two_hops(t(150)));  // refreshed past the old expiry
+  EXPECT_EQ(nt.two_hops_via(NodeId{1}), (std::vector<NodeId>{NodeId{5}}));
 }
 
 TEST(TopologySet, RecordsAndExpires) {
   TopologySet ts;
-  EXPECT_TRUE(ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}, NodeId{3}}, kVtime));
+  EXPECT_TRUE(ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}, NodeId{3}}, kVtime).applied);
   EXPECT_EQ(ts.size(), 2u);
   EXPECT_EQ(ts.advertised_by(NodeId{1}).size(), 2u);
-  ts.expire(t(7));
+  EXPECT_TRUE(ts.expire(t(7)));
   EXPECT_EQ(ts.size(), 0u);
+  EXPECT_FALSE(ts.expire(t(8)));  // nothing left: no change reported
 }
 
 TEST(TopologySet, StaleAnsnRejected) {
   TopologySet ts;
-  EXPECT_TRUE(ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}}, kVtime));
-  EXPECT_FALSE(ts.on_tc(t(1), NodeId{1}, 9, {NodeId{9}}, kVtime));
+  EXPECT_TRUE(ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}}, kVtime).applied);
+  EXPECT_FALSE(ts.on_tc(t(1), NodeId{1}, 9, {NodeId{9}}, kVtime).applied);
   EXPECT_EQ(ts.advertised_by(NodeId{1}), (std::vector<NodeId>{NodeId{2}}));
 }
 
 TEST(TopologySet, NewerAnsnReplacesOlderTuples) {
   TopologySet ts;
   ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}, NodeId{3}}, kVtime);
-  ts.on_tc(t(1), NodeId{1}, 11, {NodeId{4}}, kVtime);
+  const auto r = ts.on_tc(t(1), NodeId{1}, 11, {NodeId{4}}, kVtime);
+  EXPECT_TRUE(r.applied);
+  EXPECT_TRUE(r.changed);
   EXPECT_EQ(ts.advertised_by(NodeId{1}), (std::vector<NodeId>{NodeId{4}}));
+}
+
+TEST(TopologySet, SteadyStateRefreshIsNotAChange) {
+  // The recompute-coalescing win: a periodic TC with a new ANSN but the
+  // same advertised set refreshes timers without dirtying routes.
+  TopologySet ts;
+  ts.on_tc(t(0), NodeId{1}, 10, {NodeId{2}, NodeId{3}}, kVtime);
+  const auto refresh = ts.on_tc(t(1), NodeId{1}, 11, {NodeId{2}, NodeId{3}}, kVtime);
+  EXPECT_TRUE(refresh.applied);
+  EXPECT_FALSE(refresh.changed);
+  // The timers did refresh: tuples survive past the original expiry.
+  EXPECT_FALSE(ts.expire(t(6.5)));
+  EXPECT_EQ(ts.size(), 2u);
 }
 
 TEST(TopologySet, AnsnWraparound) {
   TopologySet ts;
   ts.on_tc(t(0), NodeId{1}, 65530, {NodeId{2}}, kVtime);
   // 5 is "newer" than 65530 modulo 2^16 (RFC 3626 §19).
-  EXPECT_TRUE(ts.on_tc(t(1), NodeId{1}, 5, {NodeId{3}}, kVtime));
+  const auto r = ts.on_tc(t(1), NodeId{1}, 5, {NodeId{3}}, kVtime);
+  EXPECT_TRUE(r.applied);
+  EXPECT_TRUE(r.changed);
   EXPECT_EQ(ts.advertised_by(NodeId{1}), (std::vector<NodeId>{NodeId{3}}));
+  // ...and 65530 is stale relative to 5 post-wrap.
+  EXPECT_FALSE(ts.on_tc(t(2), NodeId{1}, 65530, {NodeId{9}}, kVtime).applied);
+  // Exactly half the sequence space away is treated as newer in one
+  // direction only (the <= 32768 rule keeps the relation antisymmetric).
+  TopologySet half;
+  half.on_tc(t(0), NodeId{1}, 0, {NodeId{2}}, kVtime);
+  EXPECT_TRUE(half.on_tc(t(1), NodeId{1}, 32768, {NodeId{3}}, kVtime).applied);
+  EXPECT_FALSE(half.on_tc(t(2), NodeId{1}, 0, {NodeId{4}}, kVtime).applied);
 }
 
 TEST(DuplicateSet, SeenAndForwarded) {
@@ -174,6 +269,18 @@ TEST(DuplicateSet, Expiry) {
   DuplicateSet ds;
   ds.record(t(0), NodeId{1}, 5, false, sim::Duration::from_seconds(2.0));
   ds.expire(t(3));
+  EXPECT_FALSE(ds.seen(NodeId{1}, 5));
+}
+
+TEST(DuplicateSet, RefreshOutlivesStaleRingSlot) {
+  // A re-recorded entry leaves its first ring slot stale; popping that slot
+  // must not evict the refreshed entry (the ring validates valid_until).
+  DuplicateSet ds;
+  ds.record(t(0), NodeId{1}, 5, false, sim::Duration::from_seconds(2.0));
+  ds.record(t(1), NodeId{1}, 5, false, sim::Duration::from_seconds(2.0));
+  ds.expire(t(2.5));  // past the first slot's expiry, before the second
+  EXPECT_TRUE(ds.seen(NodeId{1}, 5));
+  ds.expire(t(3.5));
   EXPECT_FALSE(ds.seen(NodeId{1}, 5));
 }
 
@@ -202,13 +309,25 @@ TEST(HnaSet, GatewaysForNetwork) {
 
 KnowledgeGraph line_graph(int n) {
   KnowledgeGraph g;
-  for (int i = 0; i + 1 < n; ++i) {
-    g[NodeId{static_cast<std::uint32_t>(i)}].insert(
-        NodeId{static_cast<std::uint32_t>(i + 1)});
-    g[NodeId{static_cast<std::uint32_t>(i + 1)}].insert(
-        NodeId{static_cast<std::uint32_t>(i)});
-  }
+  for (int i = 0; i + 1 < n; ++i)
+    g.add_edge(NodeId{static_cast<std::uint32_t>(i)},
+               NodeId{static_cast<std::uint32_t>(i + 1)});
   return g;
+}
+
+TEST(KnowledgeGraph, CsrCompaction) {
+  KnowledgeGraph g;
+  g.add_edge(NodeId{3}, NodeId{1});
+  g.add_edge(NodeId{1}, NodeId{3});  // duplicate edge compacts away
+  g.add_arc(NodeId{1}, NodeId{2});
+  EXPECT_EQ(g.nodes(), (std::vector<NodeId>{NodeId{1}, NodeId{2}, NodeId{3}}));
+  EXPECT_EQ(g.arc_count(), 3u);  // 1->3, 3->1, 1->2
+  const auto from_1 = g.arcs_from(g.index_of(NodeId{1}));
+  ASSERT_EQ(from_1.size(), 2u);
+  // Adjacency ascends by target id: n2 before n3.
+  EXPECT_EQ(g.id_at(from_1[0]), NodeId{2});
+  EXPECT_EQ(g.id_at(from_1[1]), NodeId{3});
+  EXPECT_EQ(g.index_of(NodeId{9}), KnowledgeGraph::kNpos);
 }
 
 TEST(RoutingTable, LineGraphDistances) {
@@ -233,8 +352,7 @@ TEST(RoutingTable, PathReconstruction) {
 
 TEST(RoutingTable, UnreachableIsAbsent) {
   KnowledgeGraph g = line_graph(3);
-  g[NodeId{10}].insert(NodeId{11});  // disconnected island
-  g[NodeId{11}].insert(NodeId{10});
+  g.add_edge(NodeId{10}, NodeId{11});  // disconnected island
   RoutingTable rt;
   rt.recompute(NodeId{0}, g);
   EXPECT_FALSE(rt.route_to(NodeId{10}).has_value());
@@ -251,17 +369,38 @@ TEST(RoutingTable, RecomputeReportsDiff) {
   EXPECT_EQ(removed2.size(), 1u);
 }
 
+TEST(RoutingTable, IdenticalGraphIsNoOpDiff) {
+  RoutingTable rt;
+  rt.recompute(NodeId{0}, line_graph(4));
+  auto [added, removed] = rt.recompute(NodeId{0}, line_graph(4));
+  EXPECT_TRUE(added.empty());
+  EXPECT_TRUE(removed.empty());
+  EXPECT_EQ(rt.size(), 3u);
+}
+
+TEST(RoutingTable, IncrementalAdditionMatchesFullRebuild) {
+  // Growing the line extends reachability; the incremental path must agree
+  // with a from-scratch rebuild entry for entry.
+  RoutingTable inc;
+  inc.recompute(NodeId{0}, line_graph(4));
+  auto g = line_graph(4);
+  g.add_edge(NodeId{3}, NodeId{4});
+  g.add_edge(NodeId{1}, NodeId{5});  // and a fresh branch
+  auto [added, removed] = inc.recompute(NodeId{0}, g);
+  EXPECT_EQ(added, (std::vector<NodeId>{NodeId{4}, NodeId{5}}));
+  EXPECT_TRUE(removed.empty());
+  RoutingTable full;
+  full.recompute(NodeId{0}, g);
+  EXPECT_EQ(inc.entries(), full.entries());
+}
+
 TEST(RoutingTable, ShortestPathAvoidsNodes) {
   // Diamond: 0-1-3 and 0-2-3.
   KnowledgeGraph g;
-  auto link = [&](std::uint32_t a, std::uint32_t b) {
-    g[NodeId{a}].insert(NodeId{b});
-    g[NodeId{b}].insert(NodeId{a});
-  };
-  link(0, 1);
-  link(0, 2);
-  link(1, 3);
-  link(2, 3);
+  g.add_edge(NodeId{0}, NodeId{1});
+  g.add_edge(NodeId{0}, NodeId{2});
+  g.add_edge(NodeId{1}, NodeId{3});
+  g.add_edge(NodeId{2}, NodeId{3});
 
   const auto direct = RoutingTable::shortest_path(g, NodeId{0}, NodeId{3});
   ASSERT_TRUE(direct.has_value());
@@ -280,8 +419,7 @@ TEST(RoutingTable, ShortestPathAvoidsNodes) {
 TEST(RoutingTable, AvoidedDestinationStillReachable) {
   // Avoiding X as a relay must not forbid X as the final destination.
   KnowledgeGraph g;
-  g[NodeId{0}].insert(NodeId{1});
-  g[NodeId{1}].insert(NodeId{0});
+  g.add_edge(NodeId{0}, NodeId{1});
   const auto p =
       RoutingTable::shortest_path(g, NodeId{0}, NodeId{1}, {NodeId{1}});
   ASSERT_TRUE(p.has_value());
@@ -294,6 +432,275 @@ TEST(RoutingTable, SelfPathIsEmpty) {
   ASSERT_TRUE(p.has_value());
   EXPECT_TRUE(p->empty());
 }
+
+// ---------------------------------------------------------------------------
+// Flat-vs-map equivalence suite: the flat slabs replaced std::map/std::set
+// storage; these sweeps replay randomized op streams against straightforward
+// reference implementations with the old containers and demand identical
+// observable state at every step.
+
+class SlabEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SlabEquivalence, LinkSetMatchesMapReference) {
+  // Reference: same timer algebra over a std::map (the pre-slab storage).
+  struct RefSlot {
+    LinkTuple tuple;
+    bool was_symmetric = false;
+  };
+  std::map<NodeId, RefSlot> ref;
+  auto ref_on_hello = [&](sim::Time now, NodeId nb, bool lists, bool lost,
+                          sim::Duration vtime) {
+    auto& s = ref[nb];
+    if (!s.tuple.neighbor.valid()) s.tuple.neighbor = nb;
+    const bool was_sym =
+        s.tuple.valid_until > sim::Time{} && s.tuple.symmetric(now);
+    s.tuple.asym_until = now + vtime;
+    if (lost) {
+      s.tuple.sym_until = now;
+    } else if (lists) {
+      s.tuple.sym_until = now + vtime;
+    }
+    s.tuple.valid_until = std::max(s.tuple.asym_until, s.tuple.sym_until);
+    const bool is_sym = s.tuple.symmetric(now);
+    s.was_symmetric = is_sym;
+    if (is_sym && !was_sym) return LinkSet::Change::kBecameSym;
+    if (!is_sym && was_sym) return LinkSet::Change::kLost;
+    if (!is_sym) return LinkSet::Change::kBecameAsym;
+    return LinkSet::Change::kNone;
+  };
+  auto ref_expire = [&](sim::Time now) {
+    std::vector<NodeId> downgraded;
+    for (auto it = ref.begin(); it != ref.end();) {
+      if (it->second.tuple.valid_until <= now) {
+        if (it->second.was_symmetric) downgraded.push_back(it->first);
+        it = ref.erase(it);
+        continue;
+      }
+      if (it->second.was_symmetric && !it->second.tuple.symmetric(now)) {
+        downgraded.push_back(it->first);
+        it->second.was_symmetric = false;
+      }
+      ++it;
+    }
+    return downgraded;
+  };
+
+  sim::Rng rng{GetParam()};
+  LinkSet ls;
+  sim::Time now{};
+  for (int step = 0; step < 300; ++step) {
+    now = now + sim::Duration::from_ms(rng.uniform_int(0, 1500));
+    const NodeId nb{static_cast<std::uint32_t>(rng.uniform_int(1, 8))};
+    const auto op = rng.uniform_int(0, 9);
+    if (op < 7) {
+      const bool lists = rng.uniform_int(0, 2) > 0;
+      const bool lost = !lists && rng.uniform_int(0, 3) == 0;
+      const auto vtime =
+          sim::Duration::from_ms(rng.uniform_int(1000, 8000));
+      EXPECT_EQ(ls.on_hello(now, nb, lists, lost, vtime),
+                ref_on_hello(now, nb, lists, lost, vtime));
+    } else {
+      EXPECT_EQ(ls.expire(now), ref_expire(now));
+    }
+    // Observable state must agree after every op.
+    ASSERT_EQ(ls.size(), ref.size());
+    std::vector<NodeId> ref_sym, ref_asym;
+    for (const auto& [id, s] : ref) {
+      if (s.tuple.symmetric(now)) ref_sym.push_back(id);
+      if (s.tuple.asymmetric(now)) ref_asym.push_back(id);
+    }
+    ASSERT_EQ(ls.symmetric_neighbors(now), ref_sym);
+    ASSERT_EQ(ls.asymmetric_neighbors(now), ref_asym);
+  }
+}
+
+TEST_P(SlabEquivalence, NeighborTableMatchesMapReference) {
+  struct RefNeighbor {
+    Willingness will = Willingness::kDefault;
+    bool symmetric = false;
+  };
+  std::map<NodeId, RefNeighbor> ref_nbrs;
+  std::map<NodeId, std::map<NodeId, sim::Time>> ref_two_hops;
+
+  sim::Rng rng{GetParam()};
+  NeighborTable nt;
+  const NodeId self{0};
+  sim::Time now{};
+  const auto wills = std::vector<Willingness>{
+      Willingness::kNever, Willingness::kLow, Willingness::kDefault,
+      Willingness::kHigh, Willingness::kAlways};
+  for (int step = 0; step < 300; ++step) {
+    now = now + sim::Duration::from_ms(rng.uniform_int(0, 800));
+    const NodeId nb{static_cast<std::uint32_t>(rng.uniform_int(1, 6))};
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {
+        const auto w = wills[static_cast<std::size_t>(rng.uniform_int(0, 4))];
+        const bool sym = rng.uniform_int(0, 1) == 1;
+        nt.upsert_neighbor(nb, w, sym);
+        ref_nbrs[nb] = RefNeighbor{w, sym};
+        break;
+      }
+      case 1: {
+        std::vector<NodeId> ths;
+        const int count = static_cast<int>(rng.uniform_int(0, 4));
+        for (int i = 0; i < count; ++i)
+          ths.push_back(
+              NodeId{static_cast<std::uint32_t>(rng.uniform_int(0, 12))});
+        const auto until = now + sim::Duration::from_ms(rng.uniform_int(500, 5000));
+        nt.set_two_hops_via(nb, ths, until);
+        ref_two_hops[nb].clear();
+        for (auto th : ths) ref_two_hops[nb][th] = until;
+        break;
+      }
+      case 2:
+        nt.expire_two_hops(now);
+        for (auto& [via, ths] : ref_two_hops)
+          for (auto it = ths.begin(); it != ths.end();)
+            it = it->second <= now ? ths.erase(it) : std::next(it);
+        break;
+      case 3:
+        // remove_neighbor also drops the neighbor's 2-hop advertisements.
+        nt.remove_neighbor(nb);
+        ref_nbrs.erase(nb);
+        ref_two_hops.erase(nb);
+        break;
+      case 4:
+        nt.drop_two_hops_via(nb);
+        ref_two_hops.erase(nb);
+        break;
+    }
+
+    // strict_two_hops against the reference definition.
+    std::set<NodeId> ref_strict;
+    for (const auto& [via, ths] : ref_two_hops) {
+      const auto n_it = ref_nbrs.find(via);
+      if (n_it == ref_nbrs.end() || !n_it->second.symmetric) continue;
+      for (const auto& [th, _] : ths) {
+        if (th == self) continue;
+        const auto th_it = ref_nbrs.find(th);
+        if (th_it != ref_nbrs.end() && th_it->second.symmetric) continue;
+        ref_strict.insert(th);
+      }
+    }
+    ASSERT_EQ(nt.strict_two_hops(self),
+              (std::vector<NodeId>{ref_strict.begin(), ref_strict.end()}));
+
+    // reachability: strict nodes grouped by advertising via, excluding
+    // WILL_NEVER and non-symmetric vias, empties omitted.
+    NeighborTable::Reachability ref_reach;
+    for (const auto& [via, ths] : ref_two_hops) {
+      const auto n_it = ref_nbrs.find(via);
+      if (n_it == ref_nbrs.end() || !n_it->second.symmetric) continue;
+      if (n_it->second.will == Willingness::kNever) continue;
+      std::vector<NodeId> strict_via;
+      for (const auto& [th, _] : ths)
+        if (ref_strict.contains(th)) strict_via.push_back(th);
+      if (!strict_via.empty()) ref_reach.emplace_back(via, strict_via);
+    }
+    ASSERT_EQ(nt.reachability(self), ref_reach);
+  }
+}
+
+TEST_P(SlabEquivalence, DuplicateSetMatchesFullScanReference) {
+  struct RefEntry {
+    sim::Time valid_until{};
+    bool forwarded = false;
+  };
+  std::map<std::pair<NodeId, std::uint16_t>, RefEntry> ref;
+
+  sim::Rng rng{GetParam()};
+  DuplicateSet ds;
+  sim::Time now{};
+  // Constant hold time, like the agent's dup_hold: the ring's FIFO order
+  // then matches expiry order exactly.
+  const auto hold = sim::Duration::from_seconds(3.0);
+  for (int step = 0; step < 400; ++step) {
+    now = now + sim::Duration::from_ms(rng.uniform_int(0, 900));
+    const NodeId orig{static_cast<std::uint32_t>(rng.uniform_int(1, 5))};
+    const auto seq = static_cast<std::uint16_t>(rng.uniform_int(0, 15));
+    if (rng.uniform_int(0, 4) == 0) {
+      ds.expire(now);
+      for (auto it = ref.begin(); it != ref.end();)
+        it = it->second.valid_until <= now ? ref.erase(it) : std::next(it);
+    } else {
+      const bool fwd = rng.uniform_int(0, 1) == 1;
+      ds.record(now, orig, seq, fwd, hold);
+      auto& e = ref[{orig, seq}];
+      e.valid_until = now + hold;
+      e.forwarded = e.forwarded || fwd;
+    }
+    for (std::uint32_t o = 1; o <= 5; ++o) {
+      for (std::uint16_t s = 0; s < 16; ++s) {
+        const auto it = ref.find({NodeId{o}, s});
+        ASSERT_EQ(ds.seen(NodeId{o}, s), it != ref.end());
+        ASSERT_EQ(ds.forwarded(NodeId{o}, s),
+                  it != ref.end() && it->second.forwarded);
+      }
+    }
+  }
+}
+
+TEST_P(SlabEquivalence, IncrementalRoutingMatchesFullRebuild) {
+  // Evolve one RoutingTable through a random mix of edge additions (the
+  // incremental fast path) and removals (full-rebuild fallback); at every
+  // step a from-scratch table over the same graph must agree exactly.
+  sim::Rng rng{GetParam()};
+  const NodeId self{0};
+  const std::uint32_t n = 12;
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  auto build = [&] {
+    KnowledgeGraph g;
+    for (const auto& [a, b] : edges) g.add_edge(NodeId{a}, NodeId{b});
+    return g;
+  };
+  RoutingTable evolving;
+  for (int step = 0; step < 60; ++step) {
+    const bool remove = !edges.empty() && rng.uniform_int(0, 3) == 0;
+    if (remove) {
+      auto it = edges.begin();
+      std::advance(it, static_cast<long>(
+                           rng.uniform_int(0, static_cast<int>(edges.size()) - 1)));
+      edges.erase(it);
+    } else {
+      const auto a = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+      const auto b = static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+      if (a == b) continue;
+      edges.insert({std::min(a, b), std::max(a, b)});
+    }
+    const auto g = build();
+    const auto [added, removed_dests] = evolving.recompute(self, g);
+    RoutingTable fresh;
+    fresh.recompute(self, g);
+    // Destinations and distances are the contract; the next-hop parent
+    // tie-break may differ between the incremental relaxation and a BFS
+    // (it is not trace-observable), but must still be a real neighbor.
+    auto key_view = [](const RoutingTable& rt) {
+      std::vector<std::pair<NodeId, int>> v;
+      for (const auto& e : rt.entries()) v.emplace_back(e.dest, e.distance);
+      return v;
+    };
+    ASSERT_EQ(key_view(evolving), key_view(fresh)) << "step " << step;
+    const auto entries = evolving.entries();
+    const auto self_arcs =
+        entries.empty() ? std::span<const std::uint32_t>{}
+                        : g.arcs_from(g.index_of(self));
+    for (const auto& e : entries) {
+      const auto hop_idx = g.index_of(e.next_hop);
+      ASSERT_TRUE(e.distance == 1
+                      ? e.next_hop == e.dest
+                      : std::find(self_arcs.begin(), self_arcs.end(),
+                                  hop_idx) != self_arcs.end())
+          << "step " << step;
+    }
+    // The diff must be consistent: every added dest routable, every removed
+    // dest not.
+    for (auto d : added) ASSERT_TRUE(evolving.route_to(d).has_value());
+    for (auto d : removed_dests) ASSERT_FALSE(evolving.route_to(d).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlabEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 51));
 
 }  // namespace
 }  // namespace manet::olsr

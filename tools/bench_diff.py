@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Print median deltas between consecutive BENCH_N.json gauge reports.
+
+The repo records its perf trajectory as BENCH_N.json files produced by
+tools/bench_report (Google Benchmark JSON with median aggregates; see
+docs/BENCHMARKING.md for the series and its comparability rules). This tool
+walks every consecutive pair (N, M) of recorded reports — consecutive in
+the sense of "next recorded", so a gap like BENCH_3 missing pairs 2 with
+4 — and prints, per benchmark present in both, the median CPU-time delta.
+
+Usage:
+    tools/bench_diff.py [--dir DIR] [--last]
+
+    --dir DIR   directory holding BENCH_N.json files (default: repo root)
+    --last      only diff the last recorded pair
+
+Benchmarks appearing on only one side are listed as added/removed; a
+comparability break (different machine in the JSON context) is flagged but
+not fatal, mirroring the BENCHMARKING.md caveat that cross-host numbers are
+indicative only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def load_medians(path: Path) -> tuple[dict[str, tuple[float, str]], dict]:
+    """Map run_name -> (median cpu_time, unit) from one report."""
+    with path.open() as fh:
+        data = json.load(fh)
+    medians: dict[str, tuple[float, str]] = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("aggregate_name") != "median":
+            continue
+        name = bench.get("run_name") or bench["name"].removesuffix("_median")
+        medians[name] = (bench["cpu_time"], bench.get("time_unit", "ns"))
+    return medians, data.get("context", {})
+
+
+def fmt_time(value: float, unit: str) -> str:
+    return f"{value:,.1f} {unit}"
+
+
+def diff_pair(old_path: Path, new_path: Path) -> None:
+    old, old_ctx = load_medians(old_path)
+    new, new_ctx = load_medians(new_path)
+    print(f"== {old_path.name} -> {new_path.name} ==")
+    if old_ctx.get("host_name") != new_ctx.get("host_name"):
+        print("   (context differs: recorded on different hosts — "
+              "deltas are indicative only)")
+
+    shared = sorted(set(old) & set(new))
+    width = max((len(n) for n in shared), default=0)
+    for name in shared:
+        o_val, o_unit = old[name]
+        n_val, n_unit = new[name]
+        if o_unit != n_unit:
+            print(f"  {name:<{width}}  unit changed ({o_unit} -> {n_unit})")
+            continue
+        ratio = n_val / o_val if o_val else float("inf")
+        direction = "faster" if ratio < 1.0 else "slower"
+        factor = (1.0 / ratio) if ratio < 1.0 else ratio
+        print(f"  {name:<{width}}  {fmt_time(o_val, o_unit):>15} -> "
+              f"{fmt_time(n_val, n_unit):>15}   {factor:6.2f}x {direction}")
+    for name in sorted(set(new) - set(old)):
+        print(f"  {name:<{width}}  [new gauge: {fmt_time(*new[name])}]")
+    for name in sorted(set(old) - set(new)):
+        print(f"  {name:<{width}}  [gauge removed]")
+    print()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Median deltas between consecutive BENCH_N.json reports")
+    parser.add_argument("--dir", default=str(Path(__file__).resolve().parent.parent),
+                        help="directory holding BENCH_N.json files")
+    parser.add_argument("--last", action="store_true",
+                        help="only diff the most recent pair")
+    args = parser.parse_args()
+
+    bench_dir = Path(args.dir)
+    numbered = sorted(
+        (int(m.group(1)), p)
+        for p in bench_dir.glob("BENCH_*.json")
+        if (m := BENCH_RE.match(p.name)))
+    if len(numbered) < 2:
+        print(f"need at least two BENCH_N.json files in {bench_dir}",
+              file=sys.stderr)
+        return 1
+
+    pairs = list(zip(numbered, numbered[1:]))
+    if args.last:
+        pairs = pairs[-1:]
+    for (_, old_path), (_, new_path) in pairs:
+        diff_pair(old_path, new_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

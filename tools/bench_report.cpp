@@ -1,11 +1,14 @@
 // Runs the perf-gauge micro benchmarks — medium broadcast (spatial grid and
 // the seed full-scan baseline), batched vs per-sender HELLO rounds,
-// event-queue churn, MPR selection and link-set scans, wire round-trip,
-// and the psim sharded-engine gauges (full-stack slabs, synthetic window
-// throughput, serial-fraction counters) — with repeated runs and median
-// aggregates, and writes the results to BENCH_5.json: the current point of
-// this repo's recorded perf trajectory (see docs/BENCHMARKING.md for the
-// whole series and its comparability rules).
+// event-queue churn, MPR selection and link-set scans, routing recompute
+// (full rebuild, identical-graph refresh and edge-addition churn), wire
+// round-trip, the flat-slab trust store at >= 10k subjects, and the psim
+// sharded-engine gauges (full-stack slabs, synthetic window throughput,
+// serial-fraction counters) — with repeated runs and median aggregates, and
+// writes the results to BENCH_6.json: the current point of this repo's
+// recorded perf trajectory (see docs/BENCHMARKING.md for the whole series
+// and its comparability rules; tools/bench_diff.py prints median deltas
+// between consecutive BENCH_N files).
 //
 // Extra --benchmark_* flags are appended after the defaults, so e.g.
 //   bench_report --benchmark_min_time=0.01s --benchmark_repetitions=2
@@ -19,7 +22,7 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args = {
       argv[0],
-      "--benchmark_out=BENCH_5.json",
+      "--benchmark_out=BENCH_6.json",
       "--benchmark_out_format=json",
       "--benchmark_repetitions=5",
       "--benchmark_report_aggregates_only=true",
@@ -27,7 +30,8 @@ int main(int argc, char** argv) {
       "BM_MprSelection|BM_HelloSerializeParse|BM_BatchedRound|"
       "BM_PerSenderRound|BM_RoundWithDrain|BM_LinkSetScan|"
       "BM_RoutingRecompute|BM_SequentialSlab|BM_ShardedSlab|"
-      "BM_SequentialWindows|BM_ShardedWindows",
+      "BM_SequentialWindows|BM_ShardedWindows|"
+      "BM_TrustUpdateLarge|BM_TrustDecayAllLarge",
   };
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
 
