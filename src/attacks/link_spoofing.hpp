@@ -37,6 +37,8 @@ class LinkSpoofingAttack final : public olsr::AgentHooks {
 
   /// Number of HELLOs actually tampered with.
   std::uint64_t forged_count() const { return forged_; }
+  /// Checkpoint surface: restores the tamper counter verbatim.
+  void restore_forged(std::uint64_t count) { forged_ = count; }
 
  private:
   Mode mode_;

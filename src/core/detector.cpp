@@ -1,6 +1,7 @@
 #include "core/detector.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/signatures_olsr.hpp"
 #include "logging/format.hpp"
@@ -55,6 +56,48 @@ void Detector::stop() {
   if (!running_) return;
   running_ = false;
   scan_timer_.stop();
+}
+
+sim::Time Detector::last_heard_of(NodeId node) const {
+  // Newest-first sweep over the audit log: the first reception from `node`
+  // (HELLO heard directly, or a TC it relayed to us) is the answer.
+  const auto& log = agent_.log();
+  for (std::size_t i = log.size(); i-- > 0;) {
+    const auto& rec = log.at(i);
+    if (rec.event == "hello_recv") {
+      if (rec.node_field("from") == node) return rec.time;
+    } else if (rec.event == "tc_recv") {
+      if (rec.node_field("via") == node) return rec.time;
+    }
+  }
+  return sim::Time{};
+}
+
+Detector::Persisted Detector::persist() const {
+  if (running_)
+    throw std::logic_error{"cannot checkpoint a detector with a live scan timer"};
+  Persisted p;
+  p.last_scan = last_scan_;
+  p.current_mprs.assign(current_mprs_.begin(), current_mprs_.end());
+  p.pending_tcs.assign(pending_tcs_.begin(), pending_tcs_.end());
+  p.last_investigated.assign(last_investigated_.begin(),
+                             last_investigated_.end());
+  p.answer_pool.assign(answer_pool_.begin(), answer_pool_.end());
+  p.degradation = degradation_;
+  return p;
+}
+
+void Detector::restore(Persisted p) {
+  last_scan_ = p.last_scan;
+  current_mprs_ = std::set<NodeId>(p.current_mprs.begin(),
+                                   p.current_mprs.end());
+  pending_tcs_.assign(p.pending_tcs.begin(), p.pending_tcs.end());
+  last_investigated_.clear();
+  last_investigated_.insert(p.last_investigated.begin(),
+                            p.last_investigated.end());
+  answer_pool_.clear();
+  answer_pool_.insert(p.answer_pool.begin(), p.answer_pool.end());
+  degradation_ = p.degradation;
 }
 
 bool Detector::in_cooldown(NodeId suspect, NodeId subject) const {
@@ -337,12 +380,30 @@ void Detector::on_round_complete(const RoundResult& result,
   }
   const auto decision = trust::decide(pooled, config_.decision);
 
+  // Liveness gate (faulted runs): convicting a node our own log has not
+  // heard from recently would brand a crashed bystander a liar — its
+  // silence during the investigation is exactly what a guilty verdict
+  // feeds on. Downgrade to kUnrecognized and count the suppression; the
+  // pooled evidence stays, so a live-again suspect can still be convicted.
+  trust::Verdict verdict = decision.verdict;
+  bool suppressed = false;
+  if (verdict == trust::Verdict::kIntruder &&
+      config_.liveness_window > sim::Duration{}) {
+    const sim::Time heard = last_heard_of(result.query.suspect);
+    if (heard == sim::Time{} ||
+        sim_.now() - heard > config_.liveness_window) {
+      verdict = trust::Verdict::kUnrecognized;
+      suppressed = true;
+      ++degradation_.suppressed_convictions;
+    }
+  }
+
   DetectionReport report;
   report.time = sim_.now();
   report.suspect = result.query.suspect;
   report.subject = result.query.subject;
   report.claimed_up = result.query.claimed_up;
-  report.verdict = decision.verdict;
+  report.verdict = verdict;
   report.detect = round_detect;
   report.cumulative_detect = decision.detect;
   report.interval = decision.interval;
@@ -350,9 +411,10 @@ void Detector::on_round_complete(const RoundResult& result,
   report.answers = result.answers.size();
   report.timeouts = result.timeouts;
   report.cumulative_answers = pool.size();
+  report.suppressed = suppressed;
 
   // Confirmed verdicts add the E4/E5 evidence of Expression 4.
-  if (decision.verdict == trust::Verdict::kIntruder) {
+  if (verdict == trust::Verdict::kIntruder) {
     report.tags.push_back(result.query.claimed_up
                               ? EvidenceTag::kE5AdvertisesNonNeighbor
                               : EvidenceTag::kE4NotCoveringNeighbor);
@@ -381,12 +443,18 @@ void Detector::on_round_complete(const RoundResult& result,
       }
     }
   }
+  // Unresponsive verifiers under the fault-tolerant policy: relax their
+  // trust toward the default instead of freezing it at its pre-crash value.
+  if (config_.decay_unresponsive) {
+    for (const auto& a : result.answers)
+      if (!a.answered) trust_.decay_idle(a.responder);
+  }
   // The suspect's own trust only moves on a *confirmed* verdict.
-  if (decision.verdict == trust::Verdict::kIntruder) {
+  if (verdict == trust::Verdict::kIntruder) {
     trust_.apply_evidence(
         result.query.suspect,
         trust::intrusion_evidence(trust_.params().gravity_lie));
-  } else if (decision.verdict == trust::Verdict::kWellBehaving) {
+  } else if (verdict == trust::Verdict::kWellBehaving) {
     trust_.apply_evidence(
         result.query.suspect,
         trust::honest_answer_evidence(trust_.params().reward_honest));

@@ -46,6 +46,10 @@ struct DetectionReport {
   std::size_t answers = 0;   ///< this round
   std::size_t timeouts = 0;  ///< this round
   std::size_t cumulative_answers = 0;
+  /// True when the evidence said kIntruder but the liveness gate downgraded
+  /// the verdict because the suspect looks dead (see
+  /// DetectorConfig::liveness_window).
+  bool suppressed = false;
 };
 
 struct DetectorConfig {
@@ -67,6 +71,24 @@ struct DetectorConfig {
   /// Minimum |Detect| for a round to move responder trust at all; below it
   /// the aggregate is considered pure noise.
   double trust_update_min_detect = 0.1;
+  /// Fault-tolerance gate, off by default (zero) so legacy traces are
+  /// untouched. When positive, a kIntruder verdict is downgraded to
+  /// kUnrecognized if this node's own log shows no reception from the
+  /// suspect within the window: a crashed node cannot answer for itself,
+  /// and silence is indistinguishable from guilt only to a naive detector.
+  /// Suppressions are counted in degradation().suppressed_convictions.
+  sim::Duration liveness_window{};
+  /// When true, a responder that timed out has its trust relaxed toward the
+  /// default (TrustStore::decay_idle) instead of frozen at its last value —
+  /// long-dead nodes neither keep stale high trust nor stale suspicion.
+  /// Off by default for trace stability.
+  bool decay_unresponsive = false;
+};
+
+/// Graceful-degradation counters maintained by the detector under faults.
+struct DetectorDegradation {
+  /// kIntruder verdicts downgraded by the liveness gate.
+  std::uint64_t suppressed_convictions = 0;
 };
 
 /// The paper's distributed, log- and signature-based intrusion detector,
@@ -117,6 +139,46 @@ class Detector {
 
   const DetectorConfig& config() const { return config_; }
 
+  /// Latest time this node's own log records a reception (HELLO or TC
+  /// relay) from `node`; Time{} when the log never heard it. This is the
+  /// liveness oracle of the conviction gate — log-derived like everything
+  /// else the IDS consumes.
+  sim::Time last_heard_of(NodeId node) const;
+
+  const DetectorDegradation& degradation() const { return degradation_; }
+
+  /// One pooled second-hand answer (public for checkpointing).
+  struct PooledAnswer {
+    NodeId responder;
+    double evidence = 0.0;
+    bool answered = false;
+  };
+  /// One TC awaiting MPR retransmission (E2 bookkeeping; public for
+  /// checkpointing).
+  struct SentTc {
+    sim::Time at;
+    std::int64_t seq;
+    std::set<NodeId> mprs_then;
+    std::set<NodeId> heard_from;
+  };
+
+  /// Checkpoint image of the detector's log-derived state. The trust store
+  /// is persisted through its own surface and the report ring is skipped
+  /// (nothing trace-relevant reads old reports). Only valid while the scan
+  /// timer is stopped — the experiment harness drives rounds manually.
+  struct Persisted {
+    sim::Time last_scan{};
+    std::vector<NodeId> current_mprs;
+    std::vector<SentTc> pending_tcs;
+    std::vector<std::pair<std::pair<NodeId, NodeId>, sim::Time>>
+        last_investigated;
+    std::vector<std::pair<std::pair<NodeId, NodeId>, std::vector<PooledAnswer>>>
+        answer_pool;
+    DetectorDegradation degradation;
+  };
+  Persisted persist() const;
+  void restore(Persisted p);
+
  private:
   void on_round_complete(const RoundResult& result,
                          std::vector<EvidenceTag> tags);
@@ -136,25 +198,15 @@ class Detector {
   sim::Time last_scan_{};
   // State reconstructed purely from the log.
   std::set<NodeId> current_mprs_;
-  struct SentTc {
-    sim::Time at;
-    std::int64_t seq;
-    std::set<NodeId> mprs_then;
-    std::set<NodeId> heard_from;
-  };
   std::deque<SentTc> pending_tcs_;
   std::map<std::pair<NodeId, NodeId>, sim::Time> last_investigated_;
-  /// Accumulated answers per disputed (suspect, subject) link. Evidence
-  /// values are stored raw; weights use the *current* trust at decision
-  /// time, so a liar's early answers lose influence as its trust fades.
-  struct PooledAnswer {
-    NodeId responder;
-    double evidence = 0.0;
-    bool answered = false;
-  };
+  // Accumulated answers per disputed (suspect, subject) link. Evidence
+  // values are stored raw; weights use the *current* trust at decision
+  // time, so a liar's early answers lose influence as its trust fades.
   std::map<std::pair<NodeId, NodeId>, std::vector<PooledAnswer>> answer_pool_;
   std::deque<DetectionReport> reports_;
   ReportCallback on_report_;
+  DetectorDegradation degradation_;
   bool running_ = false;
 };
 

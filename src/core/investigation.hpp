@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "olsr/agent.hpp"
@@ -122,6 +123,19 @@ class InvestigationManager {
   /// the single agent DATA handler); return value ignored.
   using Fallback = std::function<bool(const olsr::DataMessage&)>;
   void set_fallback(Fallback fallback) { fallback_ = std::move(fallback); }
+
+  /// Checkpoint surface: investigation ids are monotonic, so a restored run
+  /// must keep issuing the exact id sequence; stats ride along. Only valid
+  /// between rounds (no outstanding investigations — the harness
+  /// checkpoints after every round callback has fired).
+  std::uint32_t next_id() const { return next_id_; }
+  void restore_ids(std::uint32_t next_id, const InvestigationStats& stats) {
+    if (!outstanding_.empty())
+      throw std::logic_error{
+          "cannot restore with outstanding investigations"};
+    next_id_ = next_id;
+    stats_ = stats;
+  }
 
  private:
   struct PendingVerifier {

@@ -1,0 +1,190 @@
+#include "faults/fault_plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace manet::faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestart:
+      return "restart";
+    case FaultKind::kRestartAmnesia:
+      return "restart_amnesia";
+    case FaultKind::kBrownout:
+      return "brownout";
+    case FaultKind::kBrownoutClear:
+      return "brownout_clear";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+  }
+  return "?";
+}
+
+void FaultPlan::sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+}
+
+std::string FaultPlan::format() const {
+  std::ostringstream out;
+  for (const auto& e : events) {
+    out << e.at.us() / 1000 << ' ' << to_string(e.kind);
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kRestart:
+      case FaultKind::kRestartAmnesia:
+        out << ' ' << e.node.to_string();
+        break;
+      case FaultKind::kBrownout:
+        out << ' ' << e.x0 << ' ' << e.y0 << ' ' << e.x1 << ' ' << e.y1 << ' '
+            << e.loss;
+        break;
+      case FaultKind::kBrownoutClear:
+        out << ' ' << e.x0 << ' ' << e.y0 << ' ' << e.x1 << ' ' << e.y1;
+        break;
+      case FaultKind::kPartition:
+        out << ' ' << e.cut_x;
+        break;
+      case FaultKind::kHeal:
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream in{text};
+  std::string line;
+  std::size_t line_no = 0;
+  auto fail = [&](const std::string& why) {
+    throw std::invalid_argument{"fault plan line " + std::to_string(line_no) +
+                                ": " + why};
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls{line};
+    std::int64_t t_ms = 0;
+    std::string kind;
+    if (!(ls >> t_ms)) continue;  // blank / comment-only line
+    if (!(ls >> kind)) fail("missing event kind");
+    FaultEvent e;
+    e.at = sim::Time::from_ms(t_ms);
+    auto node_operand = [&] {
+      std::string n;
+      if (!(ls >> n)) fail("missing node operand");
+      e.node = NodeId::parse(n);
+    };
+    auto rect_operand = [&] {
+      if (!(ls >> e.x0 >> e.y0 >> e.x1 >> e.y1)) fail("malformed rectangle");
+    };
+    if (kind == "crash") {
+      e.kind = FaultKind::kCrash;
+      node_operand();
+    } else if (kind == "restart") {
+      e.kind = FaultKind::kRestart;
+      node_operand();
+    } else if (kind == "restart_amnesia") {
+      e.kind = FaultKind::kRestartAmnesia;
+      node_operand();
+    } else if (kind == "brownout") {
+      e.kind = FaultKind::kBrownout;
+      rect_operand();
+      if (!(ls >> e.loss)) fail("missing brownout loss");
+      if (e.loss < 0.0 || e.loss > 1.0) fail("brownout loss outside [0,1]");
+    } else if (kind == "brownout_clear") {
+      e.kind = FaultKind::kBrownoutClear;
+      rect_operand();
+    } else if (kind == "partition") {
+      e.kind = FaultKind::kPartition;
+      if (!(ls >> e.cut_x)) fail("missing partition cut");
+    } else if (kind == "heal") {
+      e.kind = FaultKind::kHeal;
+    } else {
+      fail("unknown event kind '" + kind + "'");
+    }
+    std::string trailing;
+    if (ls >> trailing) fail("trailing operand '" + trailing + "'");
+    plan.events.push_back(e);
+  }
+  plan.sort();
+  return plan;
+}
+
+FaultPlan FaultPlan::chaos(std::uint64_t seed, std::size_t num_nodes,
+                           double area_m, sim::Time start, sim::Time horizon) {
+  FaultPlan plan;
+  if (num_nodes < 4 || horizon <= start) return plan;
+  sim::Rng rng{seed ^ 0xFA171E57C0FFEEULL};
+  const std::int64_t span_us = (horizon - start).us();
+
+  // Node churn: each bystander (2..n-1) crashes with probability 1/3,
+  // stays down 10-30% of the horizon, and half the restarts are amnesiac.
+  for (std::size_t i = 2; i < num_nodes; ++i) {
+    if (!rng.bernoulli(1.0 / 3.0)) continue;
+    const std::int64_t down_at = rng.uniform_int(0, span_us * 6 / 10);
+    const std::int64_t down_for =
+        rng.uniform_int(span_us / 10, span_us * 3 / 10);
+    const bool amnesia = rng.bernoulli(0.5);
+    FaultEvent crash;
+    crash.at = start + sim::Duration::from_us(down_at);
+    crash.kind = FaultKind::kCrash;
+    crash.node = NodeId{static_cast<std::uint32_t>(i)};
+    plan.events.push_back(crash);
+    FaultEvent up = crash;
+    up.at = crash.at + sim::Duration::from_us(down_for);
+    up.kind = amnesia ? FaultKind::kRestartAmnesia : FaultKind::kRestart;
+    if (up.at < horizon) plan.events.push_back(up);
+  }
+
+  // One regional brown-out window over a random quadrant-sized rectangle.
+  {
+    FaultEvent bo;
+    bo.kind = FaultKind::kBrownout;
+    bo.at = start + sim::Duration::from_us(rng.uniform_int(0, span_us / 2));
+    bo.x0 = rng.uniform_real(0.0, area_m / 2.0);
+    bo.y0 = rng.uniform_real(0.0, area_m / 2.0);
+    bo.x1 = bo.x0 + area_m / 2.0;
+    bo.y1 = bo.y0 + area_m / 2.0;
+    bo.loss = rng.uniform_real(0.5, 0.9);
+    plan.events.push_back(bo);
+    FaultEvent clear = bo;
+    clear.kind = FaultKind::kBrownoutClear;
+    clear.loss = 0.0;
+    clear.at = bo.at + sim::Duration::from_us(
+                           rng.uniform_int(span_us / 10, span_us * 3 / 10));
+    if (clear.at < horizon) plan.events.push_back(clear);
+  }
+
+  // One partition/heal window with probability 1/2.
+  if (rng.bernoulli(0.5)) {
+    FaultEvent part;
+    part.kind = FaultKind::kPartition;
+    part.at = start + sim::Duration::from_us(rng.uniform_int(0, span_us / 2));
+    part.cut_x = rng.uniform_real(area_m * 0.25, area_m * 0.75);
+    plan.events.push_back(part);
+    FaultEvent heal;
+    heal.kind = FaultKind::kHeal;
+    heal.at = part.at + sim::Duration::from_us(
+                            rng.uniform_int(span_us / 10, span_us * 3 / 10));
+    if (heal.at < horizon) plan.events.push_back(heal);
+  }
+
+  plan.sort();
+  return plan;
+}
+
+}  // namespace manet::faults

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace manet::faults {
+
+using net::NodeId;
+
+/// One kind of injected disturbance. Node indices 0 (investigator) and 1
+/// (attacker) are never targeted by the chaos generator — the experiment's
+/// fixed roles must survive the churn so degradation is measurable.
+enum class FaultKind : std::uint8_t {
+  /// Node goes dark: daemon stopped, radio down. In-flight frames already
+  /// addressed to it are dropped on arrival (drop-on-arrival rule).
+  kCrash = 1,
+  /// Node rejoins with its protocol state intact (a short power blip).
+  kRestart = 2,
+  /// Delayed-restart amnesia: the node rejoins with cold OLSR and trust
+  /// tables, as if freshly booted. Its msg/pkt/ANSN sequence counters keep
+  /// counting so peers' duplicate sets never see a reused pair.
+  kRestartAmnesia = 3,
+  /// Radio brown-out: every host inside the axis-aligned rectangle gets a
+  /// per-host loss-rate override (burst interference over a region).
+  kBrownout = 4,
+  /// Clears the loss override of every host inside the rectangle.
+  kBrownoutClear = 5,
+  /// Partitions the arena at x = cut: hosts with position.x <= cut join
+  /// partition 1, the rest partition 2. Cross-partition frames are skipped
+  /// before any RNG draw, like out-of-range receivers.
+  kPartition = 6,
+  /// Removes all partitions (every host back to partition 0).
+  kHeal = 7,
+};
+
+const char* to_string(FaultKind kind);
+
+/// One scheduled disturbance. Unused operand fields stay at their
+/// defaults; `format`/`parse` only round-trip the operands of the kind.
+struct FaultEvent {
+  sim::Time at{};
+  FaultKind kind = FaultKind::kCrash;
+  NodeId node{};                      ///< kCrash / kRestart / kRestartAmnesia
+  double x0 = 0, y0 = 0, x1 = 0, y1 = 0;  ///< brown-out rectangle
+  double loss = 0.0;                  ///< kBrownout loss override
+  double cut_x = 0.0;                 ///< kPartition split plane
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A deterministic, fully pre-computed schedule of disturbances. The
+/// injector replays it through the engine's event queue, so a plan plus a
+/// seed pins the entire faulted run byte for byte.
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< ascending by `at` after sort()
+
+  bool empty() const { return events.empty(); }
+  /// Stable-sorts by time, preserving file order of simultaneous events.
+  void sort();
+
+  /// Text form, one event per line: `<t_ms> <kind> <operands...>`.
+  /// Kinds: crash/restart/restart_amnesia `<node>`, brownout
+  /// `<x0> <y0> <x1> <y1> <loss>`, brownout_clear `<x0> <y0> <x1> <y1>`,
+  /// partition `<cut_x>`, heal. '#' starts a comment.
+  std::string format() const;
+  /// Parses the text form; throws std::invalid_argument on malformed input.
+  static FaultPlan parse(const std::string& text);
+
+  /// Deterministic chaos generator: node churn (crash + restart, half of
+  /// them amnesiac), one regional brown-out window and one partition/heal
+  /// window, all drawn from `seed` over [start, horizon). Nodes 0 and 1
+  /// are excluded from churn. Same arguments, same plan — always.
+  static FaultPlan chaos(std::uint64_t seed, std::size_t num_nodes,
+                         double area_m, sim::Time start, sim::Time horizon);
+};
+
+}  // namespace manet::faults

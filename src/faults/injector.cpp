@@ -1,0 +1,110 @@
+#include "faults/injector.hpp"
+
+#include <stdexcept>
+
+namespace manet::faults {
+
+FaultInjector::FaultInjector(sim::Engine& sim, net::Medium& medium,
+                             FaultPlan plan, NodeOps ops)
+    : sim_{sim}, medium_{medium}, plan_{std::move(plan)}, ops_{std::move(ops)} {
+  for (std::size_t i = 1; i < plan_.events.size(); ++i) {
+    if (plan_.events[i].at < plan_.events[i - 1].at)
+      throw std::invalid_argument{"fault plan not sorted by time"};
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_ || cursor_ >= plan_.events.size()) return;
+  const FaultEvent& e = plan_.events[cursor_];
+  armed_ = true;
+  pending_at_ = e.at;
+  const sim::EventId ev = sim_.schedule_at(e.at, [this] {
+    armed_ = false;
+    const FaultEvent& ev = plan_.events[cursor_++];
+    execute(ev);
+    arm();
+  });
+  pending_seq_ = ev.raw();
+}
+
+void FaultInjector::run_until(sim::Time now) {
+  if (armed_) throw std::logic_error{"run_until on an armed injector"};
+  while (cursor_ < plan_.events.size() && plan_.events[cursor_].at <= now)
+    execute(plan_.events[cursor_++]);
+}
+
+void FaultInjector::restore(
+    std::size_t cursor, std::vector<std::pair<NodeId, sim::Time>> down_since,
+    sim::Time last_disruption, sim::Time last_heal) {
+  if (armed_) throw std::logic_error{"restore on an armed injector"};
+  if (cursor > plan_.events.size())
+    throw std::invalid_argument{"fault cursor past the plan"};
+  cursor_ = cursor;
+  down_since_.clear();
+  down_since_.insert(down_since.begin(), down_since.end());
+  last_disruption_ = last_disruption;
+  last_heal_ = last_heal;
+}
+
+sim::Time FaultInjector::down_since(NodeId node) const {
+  const auto it = down_since_.find(node);
+  return it == down_since_.end() ? sim::Time{} : it->second;
+}
+
+std::vector<std::pair<NodeId, sim::Time>> FaultInjector::down_nodes() const {
+  return {down_since_.begin(), down_since_.end()};
+}
+
+void FaultInjector::apply_rect_override(const FaultEvent& e, double loss) {
+  for (const NodeId id : medium_.attached_ids()) {
+    const auto pos = medium_.position(id);
+    if (pos.x >= e.x0 && pos.x <= e.x1 && pos.y >= e.y0 && pos.y <= e.y1)
+      medium_.set_loss_override(id, loss);
+  }
+}
+
+void FaultInjector::execute(const FaultEvent& e) {
+  switch (e.kind) {
+    case FaultKind::kCrash:
+      // Stop the daemon first (it logs daemon_stop and cancels its timers
+      // while the radio is still nominally on), then kill the radio.
+      if (ops_.crash) ops_.crash(e.node);
+      medium_.set_up(e.node, false);
+      down_since_.emplace(e.node, e.at);
+      last_disruption_ = e.at;
+      break;
+    case FaultKind::kRestart:
+      medium_.set_up(e.node, true);
+      if (ops_.restart) ops_.restart(e.node);
+      down_since_.erase(e.node);
+      last_heal_ = e.at;
+      break;
+    case FaultKind::kRestartAmnesia:
+      medium_.set_up(e.node, true);
+      if (ops_.restart_amnesia) ops_.restart_amnesia(e.node);
+      down_since_.erase(e.node);
+      last_heal_ = e.at;
+      break;
+    case FaultKind::kBrownout:
+      apply_rect_override(e, e.loss);
+      last_disruption_ = e.at;
+      break;
+    case FaultKind::kBrownoutClear:
+      apply_rect_override(e, -1.0);
+      last_heal_ = e.at;
+      break;
+    case FaultKind::kPartition:
+      for (const NodeId id : medium_.attached_ids())
+        medium_.set_partition(id,
+                              medium_.position(id).x <= e.cut_x ? 1u : 2u);
+      last_disruption_ = e.at;
+      break;
+    case FaultKind::kHeal:
+      for (const NodeId id : medium_.attached_ids())
+        medium_.set_partition(id, 0u);
+      last_heal_ = e.at;
+      break;
+  }
+}
+
+}  // namespace manet::faults

@@ -1,0 +1,83 @@
+#include "faults/invariants.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace manet::faults {
+
+InvariantChecker::InvariantChecker(const net::Medium& medium,
+                                   const FaultInjector& injector,
+                                   Config config)
+    : medium_{medium}, injector_{injector}, config_{config} {}
+
+void InvariantChecker::record(sim::Time at, std::string rule,
+                              std::string detail) {
+  violations_.push_back({at, std::move(rule), std::move(detail)});
+}
+
+void InvariantChecker::check_trust_bounds(sim::Time now, NodeId observer,
+                                          const trust::TrustStore& store) {
+  const trust::TrustParams& p = store.params();
+  for (const auto& [subject, value] : store.trust_rows()) {
+    if (value < p.min_trust || value > p.max_trust) {
+      std::ostringstream os;
+      os << observer.to_string() << " holds trust " << value << " in "
+         << subject.to_string() << ", outside [" << p.min_trust << ", "
+         << p.max_trust << "]";
+      record(now, "trust-bounds", os.str());
+    }
+  }
+}
+
+void InvariantChecker::check_conviction(sim::Time now,
+                                        const core::DetectionReport& report) {
+  if (report.verdict != trust::Verdict::kIntruder) return;
+  if (!injector_.is_down(report.suspect)) return;
+  const sim::Time since = injector_.down_since(report.suspect);
+  if (now - since <= config_.conviction_grace) return;
+  std::ostringstream os;
+  os << report.suspect.to_string() << " convicted while down since "
+     << since.to_string() << " (" << (now - since).to_string()
+     << " > grace " << config_.conviction_grace.to_string() << ")";
+  record(now, "convict-down", os.str());
+}
+
+void InvariantChecker::check_routing(sim::Time now, NodeId self,
+                                     const olsr::RoutingTable& routes) {
+  const std::uint32_t self_part = medium_.partition(self);
+  // Partition checks only make sense once the split has had time to
+  // propagate through hold-time expiry; gate on the last disruption age.
+  const bool partition_settled =
+      injector_.last_disruption() != sim::Time{} &&
+      now - injector_.last_disruption() > config_.routing_grace &&
+      injector_.last_disruption() > injector_.last_heal();
+  for (const auto& entry : routes.entries()) {
+    const NodeId hop = entry.next_hop;
+    if (injector_.is_down(hop) &&
+        now - injector_.down_since(hop) > config_.routing_grace) {
+      std::ostringstream os;
+      os << self.to_string() << " routes to " << entry.dest.to_string()
+         << " via " << hop.to_string() << ", down since "
+         << injector_.down_since(hop).to_string();
+      record(now, "route-down-hop", os.str());
+    }
+    if (partition_settled && medium_.attached(hop) &&
+        medium_.partition(hop) != self_part) {
+      std::ostringstream os;
+      os << self.to_string() << " (partition " << self_part << ") routes to "
+         << entry.dest.to_string() << " via " << hop.to_string()
+         << " (partition " << medium_.partition(hop) << ")";
+      record(now, "route-partition", os.str());
+    }
+  }
+}
+
+std::string InvariantChecker::format() const {
+  std::ostringstream os;
+  for (const auto& v : violations_)
+    os << "t=" << v.at.to_string() << " [" << v.rule << "] " << v.detail
+       << '\n';
+  return os.str();
+}
+
+}  // namespace manet::faults

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "faults/injector.hpp"
+#include "net/medium.hpp"
+#include "olsr/routing_table.hpp"
+#include "trust/trust_store.hpp"
+
+namespace manet::faults {
+
+/// One broken safety rule observed during a faulted run.
+struct InvariantViolation {
+  sim::Time at{};
+  std::string rule;    ///< short machine-greppable id, e.g. "trust-bounds"
+  std::string detail;  ///< human diagnostic with the offending values
+};
+
+/// Safety-rule oracle for chaos runs. The checker never mutates anything:
+/// it cross-references protocol outputs (verdicts, routes, trust values)
+/// against the FaultInjector's ground-truth timeline and records every
+/// contradiction. An empty violation list after a chaos run is the
+/// graceful-degradation acceptance bar the chaos-smoke CI job enforces.
+///
+/// Every rule that depends on information propagating through the network
+/// carries a grace window: OLSR needs hold times to expire and trust needs
+/// investigation rounds to observe, so a route naming a node that crashed
+/// 200 ms ago is expected, while one naming a node dead for a minute is a
+/// bug. Graces default to comfortably above the protocol hold times.
+class InvariantChecker {
+ public:
+  struct Config {
+    /// A kIntruder verdict against a node continuously down for longer
+    /// than this before the report is a false conviction of a corpse —
+    /// the liveness gate (DetectorConfig::liveness_window) must have
+    /// suppressed it. Shorter downtimes are legitimately ambiguous.
+    sim::Duration conviction_grace = sim::Duration::from_seconds(15.0);
+    /// Routes may keep naming a crashed next hop while the link/topology
+    /// hold times run out; beyond this the stale entry is a violation.
+    sim::Duration routing_grace = sim::Duration::from_seconds(20.0);
+  };
+
+  InvariantChecker(const net::Medium& medium, const FaultInjector& injector,
+                   Config config);
+  InvariantChecker(const net::Medium& medium, const FaultInjector& injector)
+      : InvariantChecker(medium, injector, Config{}) {}
+
+  /// Rule "trust-bounds": every stored trust value of `observer` must lie
+  /// inside [min_trust, max_trust] of the store's own params.
+  void check_trust_bounds(sim::Time now, NodeId observer,
+                          const trust::TrustStore& store);
+
+  /// Rule "convict-down": no kIntruder verdict against a node that has
+  /// been continuously down for longer than conviction_grace.
+  void check_conviction(sim::Time now, const core::DetectionReport& report);
+
+  /// Rules "route-down-hop" / "route-partition": `self`'s routing table
+  /// must not name a next hop that is long-dead, nor (once the partition
+  /// has had routing_grace to settle) one on the other side of a netsplit.
+  void check_routing(sim::Time now, NodeId self,
+                     const olsr::RoutingTable& routes);
+
+  const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  bool clean() const { return violations_.empty(); }
+  /// One line per violation ("t=12.250s [rule] detail"), for CI logs.
+  std::string format() const;
+
+ private:
+  void record(sim::Time at, std::string rule, std::string detail);
+
+  const net::Medium& medium_;
+  const FaultInjector& injector_;
+  Config config_;
+  std::vector<InvariantViolation> violations_;
+};
+
+}  // namespace manet::faults

@@ -40,6 +40,16 @@ class LogStore {
   std::uint64_t total_appended() const { return total_appended_; }
   std::uint64_t dropped() const { return dropped_; }
 
+  /// Checkpoint surface: the retained window plus the lifetime counters
+  /// (capacity stays whatever this store was constructed with).
+  const std::deque<LogRecord>& records() const { return records_; }
+  void restore(std::deque<LogRecord> records, std::uint64_t total_appended,
+               std::uint64_t dropped) {
+    records_ = std::move(records);
+    total_appended_ = total_appended;
+    dropped_ = dropped;
+  }
+
  private:
   std::size_t max_records_;
   std::deque<LogRecord> records_;

@@ -75,7 +75,7 @@ void Medium::attach(NodeId id, Position pos, ReceiveHandler handler) {
   if (index_.contains(id))
     throw std::logic_error{"host already attached: " + id.to_string()};
   const auto slot = static_cast<std::uint32_t>(hosts_.size());
-  hosts_.push_back(Host{id, pos, std::move(handler), true, {}});
+  hosts_.push_back(Host{id, pos, std::move(handler), true, -1.0, 0, {}});
   index_.emplace(id, slot);
   grid_.insert(slot, pos);
   bump_generation();
@@ -104,6 +104,14 @@ void Medium::set_handler(NodeId id, ReceiveHandler handler) {
 
 bool Medium::attached(NodeId id) const { return index_.contains(id); }
 
+std::vector<NodeId> Medium::attached_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(hosts_.size());
+  for (const auto& h : hosts_) ids.push_back(h.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 void Medium::set_position(NodeId id, Position pos) {
   const auto it = index_.find(id);
   if (it == index_.end())
@@ -124,6 +132,80 @@ void Medium::set_up(NodeId id, bool up) {
 }
 
 bool Medium::is_up(NodeId id) const { return host(id).up; }
+
+void Medium::set_loss_override(NodeId id, double loss) {
+  // No generation bump: overrides never change receiver candidacy, only the
+  // probability fed into the (unchanged) single loss draw.
+  host(id).loss_override = loss < 0.0 ? -1.0 : loss;
+}
+
+double Medium::loss_override(NodeId id) const {
+  return host(id).loss_override;
+}
+
+void Medium::set_partition(NodeId id, std::uint32_t partition) {
+  // No generation bump either: snapshots carry no partition state, the
+  // cross-partition check always reads the live host entries.
+  host(id).partition = partition;
+}
+
+std::uint32_t Medium::partition(NodeId id) const {
+  return host(id).partition;
+}
+
+void Medium::set_track_in_flight(bool on) {
+  if (on && router_ != nullptr)
+    throw std::logic_error{
+        "in-flight tracking requires the sequential engine"};
+  if (on && config_.collision_window > sim::Duration{})
+    throw std::logic_error{
+        "in-flight tracking does not support the collision model"};
+  track_in_flight_ = on;
+  if (!on) flights_.clear();
+}
+
+std::vector<InFlightFrame> Medium::in_flight() const {
+  std::vector<InFlightFrame> out;
+  out.reserve(flights_.size());
+  for (const auto& [token, frame] : flights_) out.push_back(frame);
+  std::sort(out.begin(), out.end(),
+            [](const InFlightFrame& a, const InFlightFrame& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+void Medium::restore_in_flight(const InFlightFrame& frame) {
+  if (!track_in_flight_)
+    throw std::logic_error{"restore_in_flight without tracking enabled"};
+  Packet packet{frame.transmitter, frame.link_dest,
+                make_payload(Bytes{frame.payload}), frame.sent_at};
+  const std::uint64_t token = next_flight_token_++;
+  auto on_arrival = [this, token, receiver = frame.receiver,
+                     packet = std::move(packet)] {
+    flights_.erase(token);
+    const auto it = index_.find(receiver);
+    if (it == index_.end()) return;
+    Host& h = hosts_[it->second];
+    if (!h.up) {
+      ++stats_slot().dropped_down;
+      return;
+    }
+    ++stats_slot().deliveries;
+    if (h.handler) h.handler(packet);
+  };
+  const sim::EventId ev = sim_.schedule_at(frame.arrival, std::move(on_arrival));
+  InFlightFrame tracked = frame;
+  tracked.seq = ev.raw();
+  flights_.emplace(token, std::move(tracked));
+}
+
+void Medium::restore_stats(const MediumStats& stats) {
+  if (stats_shards_.size() != 1)
+    throw std::logic_error{"restore_stats under the sharded engine"};
+  stats_shards_[0] = stats;
+}
 
 Medium::Host& Medium::host(NodeId id) {
   const auto it = index_.find(id);
@@ -195,6 +277,13 @@ Medium::CellSnapshot& Medium::snapshot_for(SpatialGrid::CellKey cell) {
 }
 
 void Medium::transmit_batched(NodeId sender, PayloadPtr payload) {
+  // Tracked (checkpointable) runs bypass the snapshot fast path: the
+  // per-sender transmit is observationally identical (the batch contract)
+  // and schedules per receiver, which is what the flight registry hooks.
+  if (track_in_flight_) {
+    transmit(sender, kInvalidNode, std::move(payload));
+    return;
+  }
   const Host& tx = host(sender);
   if (!tx.up) return;
   sim::Engine& eng = engine();
@@ -229,17 +318,23 @@ void Medium::transmit_batched(NodeId sender, PayloadPtr payload) {
   // window (each event built in place in the queue's heap storage, sifted
   // on close); a shard router schedules per receiver instead, because the
   // receivers of one broadcast may live in different shards' queues.
+  const double tx_loss = sender_loss(tx);
   std::optional<DeliveryWindow> window;
   if (seq_sim_ != nullptr && router_ == nullptr)
     window.emplace(seq_sim_->open_window());
   for (const auto& c : snap.candidates) {
     if (c.id == sender) continue;
+    if (hosts_[c.slot].partition != tx.partition) continue;
     const double dx = c.pos.x - origin.x;
     const double dy = c.pos.y - origin.y;
     const double dd = dx * dx + dy * dy;
     if (dd > rr_out) continue;
     if (dd >= rr_in && distance(origin, c.pos) > config_.range_m) continue;
-    deliver_to(hosts_[c.slot], packet, eng, window ? &*window : nullptr);
+    Host& rx = hosts_[c.slot];
+    const double loss = rx.loss_override >= 0.0
+                            ? std::max(tx_loss, rx.loss_override)
+                            : tx_loss;
+    deliver_to(rx, packet, eng, loss, window ? &*window : nullptr);
   }
   if (window) window->close();
 }
@@ -256,26 +351,35 @@ void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
 
   const Packet packet{sender, link_dest, std::move(payload), eng.now()};
 
+  const double tx_loss = sender_loss(tx);
+  const std::uint32_t tx_partition = tx.partition;
+  auto effective_loss = [&](const Host& rx) {
+    return rx.loss_override >= 0.0 ? std::max(tx_loss, rx.loss_override)
+                                   : tx_loss;
+  };
+
   if (link_dest.valid()) {
     // Unicast fast path: at most one receiver, no scan at all.
     if (link_dest == sender) return;
     const auto it = index_.find(link_dest);
     if (it == index_.end()) return;
     Host& rx = hosts_[it->second];
-    if (!rx.up || distance(tx.pos, rx.pos) > config_.range_m) return;
-    deliver_to(rx, packet, eng);
+    if (!rx.up || rx.partition != tx_partition) return;
+    if (distance(tx.pos, rx.pos) > config_.range_m) return;
+    deliver_to(rx, packet, eng, effective_loss(rx));
     return;
   }
 
   // Broadcast: collect in-range receivers from the 3x3 grid neighborhood,
   // then deliver in ascending NodeId order so the RNG draw sequence matches
-  // the full-scan implementation this replaced.
+  // the full-scan implementation this replaced. Cross-partition receivers
+  // are excluded here, before any RNG draw — like out-of-range ones.
   const Position origin = tx.pos;
   auto& scratch = receiver_scratch_[shard_index()];
   scratch.clear();
   grid_.for_each_candidate(origin, [&](std::uint32_t slot) {
     const Host& rx = hosts_[slot];
-    if (rx.id == sender || !rx.up) return;
+    if (rx.id == sender || !rx.up || rx.partition != tx_partition) return;
     if (distance(origin, rx.pos) > config_.range_m) return;
     scratch.push_back(slot);
   });
@@ -283,15 +387,16 @@ void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
             [this](std::uint32_t a, std::uint32_t b) {
               return hosts_[a].id < hosts_[b].id;
             });
-  for (const auto slot : scratch) deliver_to(hosts_[slot], packet, eng);
+  for (const auto slot : scratch)
+    deliver_to(hosts_[slot], packet, eng, effective_loss(hosts_[slot]));
 }
 
 void Medium::deliver_to(Host& rx, const Packet& packet, sim::Engine& eng,
-                        DeliveryWindow* window) {
+                        double loss, DeliveryWindow* window) {
   // Independent per-delivery loss. Under psim, eng.rng() is the sending
   // node's private stream, so the draw sequence is invariant to shard and
   // worker-thread counts.
-  if (eng.rng().bernoulli(config_.loss_probability)) {
+  if (eng.rng().bernoulli(loss)) {
     ++stats_slot().losses;
     return;
   }
@@ -328,7 +433,10 @@ void Medium::deliver_to(Host& rx, const Packet& packet, sim::Engine& eng,
       const auto it = index_.find(receiver);
       if (it == index_.end()) return;
       Host& h = hosts_[it->second];
-      if (!h.up) return;
+      if (!h.up) {
+        ++stats_slot().dropped_down;
+        return;
+      }
       std::erase_if(h.arrivals,
                     [&](const auto& a) { return a.first <= arrival; });
       if (*corrupted) {
@@ -355,6 +463,32 @@ void Medium::deliver_to(Host& rx, const Packet& packet, sim::Engine& eng,
   if (router_ != nullptr && !router_->is_local(rx.id))
     to_deliver.data = make_payload(Bytes{packet.payload()});
 
+  // Tracked (checkpointable) mode: same delivery semantics, plus the
+  // flight-registry bookkeeping. Split out so the hot untracked path below
+  // keeps its minimal capture.
+  if (track_in_flight_) {
+    const std::uint64_t token = next_flight_token_++;
+    InFlightFrame frame{rx.id,          packet.transmitter, packet.link_dest,
+                        Bytes{packet.payload()}, packet.sent_at, arrival, 0};
+    auto on_arrival = [this, token, receiver = rx.id,
+                       packet = std::move(to_deliver)] {
+      flights_.erase(token);
+      const auto it = index_.find(receiver);
+      if (it == index_.end()) return;
+      Host& h = hosts_[it->second];
+      if (!h.up) {
+        ++stats_slot().dropped_down;
+        return;
+      }
+      ++stats_slot().deliveries;
+      if (h.handler) h.handler(packet);
+    };
+    const sim::EventId ev = eng.schedule_at(arrival, std::move(on_arrival));
+    frame.seq = ev.raw();
+    flights_.emplace(token, std::move(frame));
+    return;
+  }
+
   // No collision model: `arrivals` stays empty and `corrupted` stays null,
   // so the callback needs neither — a smaller capture makes every queue
   // move of the entry cheaper on the hottest path.
@@ -362,7 +496,10 @@ void Medium::deliver_to(Host& rx, const Packet& packet, sim::Engine& eng,
     const auto it = index_.find(receiver);
     if (it == index_.end()) return;
     Host& h = hosts_[it->second];
-    if (!h.up) return;
+    if (!h.up) {
+      ++stats_slot().dropped_down;
+      return;
+    }
     ++stats_slot().deliveries;
     if (h.handler) h.handler(packet);
   };

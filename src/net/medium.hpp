@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -35,6 +36,26 @@ struct MediumStats {
   std::uint64_t losses = 0;
   std::uint64_t collisions = 0;
   std::uint64_t bytes_sent = 0;
+  /// Frames that survived the loss draw but arrived at a host that had gone
+  /// down in the meantime — the drop-on-arrival rule (see ARCHITECTURE.md,
+  /// "Fault model"): up/down is evaluated when the frame lands, never
+  /// retroactively against in-flight frames.
+  std::uint64_t dropped_down = 0;
+};
+
+/// One tracked in-flight delivery (see Medium::set_track_in_flight): the
+/// full reconstruction recipe for a frame that has been transmitted (all
+/// its loss/jitter draws consumed) but has not yet arrived. `seq` is the
+/// event queue insertion sequence — the checkpoint machinery sorts pending
+/// work by (arrival, seq) to re-arm it in the original order.
+struct InFlightFrame {
+  NodeId receiver;
+  NodeId transmitter;
+  NodeId link_dest;
+  Bytes payload;
+  sim::Time sent_at;
+  sim::Time arrival;
+  std::uint64_t seq = 0;
 };
 
 /// Accounting of the batched broadcast-round fast path: how often the
@@ -118,6 +139,9 @@ class Medium {
   void attach(NodeId id, Position pos, ReceiveHandler handler = {});
   void detach(NodeId id);
   bool attached(NodeId id) const;
+  /// Ids of every attached host, ascending (fault-region sweeps iterate
+  /// this so regional overrides apply in a deterministic order).
+  std::vector<NodeId> attached_ids() const;
 
   /// Installs/replaces the receive handler of an attached host (a daemon
   /// starting on a host that was placed earlier).
@@ -127,8 +151,46 @@ class Medium {
   Position position(NodeId id) const;
 
   /// Marks a host down/up (radio off); down hosts neither send nor receive.
+  /// Frames already in flight toward a host that goes down are dropped on
+  /// arrival (counted in MediumStats::dropped_down); frames in flight toward
+  /// a host that comes back up before they land are delivered normally.
   void set_up(NodeId id, bool up);
   bool is_up(NodeId id) const;
+
+  /// Per-host loss-rate override for radio brown-outs: when >= 0 it
+  /// replaces RadioConfig::loss_probability for every frame this host sends
+  /// or receives (the effective rate is the max over config, sender and
+  /// receiver overrides). Negative clears the override. Never changes the
+  /// number of RNG draws — only the probability of the one loss draw.
+  void set_loss_override(NodeId id, double loss);
+  double loss_override(NodeId id) const;
+
+  /// Partition id for netsplit windows: frames cross only between hosts in
+  /// the same partition, decided at transmit time BEFORE any RNG draw (a
+  /// partitioned receiver consumes no loss/jitter draws, exactly like an
+  /// out-of-range one). Default partition is 0 for every host.
+  void set_partition(NodeId id, std::uint32_t partition);
+  std::uint32_t partition(NodeId id) const;
+
+  /// Opt-in registry of transmitted-but-not-yet-arrived frames, the
+  /// checkpoint machinery's view of the air. Off by default (zero cost on
+  /// the golden paths); requires the sequential engine and no collision
+  /// model. While on, broadcasts bypass the BroadcastBatch snapshot fast
+  /// path (trace-identical per the batch determinism contract).
+  void set_track_in_flight(bool on);
+  bool track_in_flight() const { return track_in_flight_; }
+
+  /// Tracked in-flight frames in ascending (arrival, seq) order.
+  std::vector<InFlightFrame> in_flight() const;
+
+  /// Checkpoint restore: re-schedules one saved in-flight frame. Draws
+  /// nothing — the frame's loss/jitter draws were consumed before the
+  /// snapshot. Must be called in ascending saved (arrival, seq) order so
+  /// the re-issued sequence numbers preserve the original tie-break order.
+  void restore_in_flight(const InFlightFrame& frame);
+
+  /// Checkpoint restore of the traffic counters (sequential engine only).
+  void restore_stats(const MediumStats& stats);
 
   /// Link-layer broadcast to every in-range host. The payload is serialized
   /// once and shared by all receivers (zero-copy).
@@ -166,6 +228,10 @@ class Medium {
     Position pos;
     ReceiveHandler handler;
     bool up = true;
+    /// Brown-out loss override; < 0 means "use RadioConfig::loss_probability".
+    double loss_override = -1.0;
+    /// Netsplit partition id; frames cross only within one partition.
+    std::uint32_t partition = 0;
     // Pending arrivals for collision detection: (arrival time, corrupted).
     std::vector<std::pair<sim::Time, std::shared_ptr<bool>>> arrivals;
   };
@@ -192,9 +258,17 @@ class Medium {
   /// context) and either schedules the delivery (window == nullptr), adds
   /// it to the caller's coalesced-insertion window, or — with a shard
   /// router installed — hands it to the router in the receiver's node
-  /// context. Identical draws and event order for the first two.
+  /// context. Identical draws and event order for the first two. `loss`
+  /// is the effective loss probability (config merged with any brown-out
+  /// overrides of sender and receiver).
   void deliver_to(Host& rx, const Packet& packet, sim::Engine& eng,
-                  DeliveryWindow* window = nullptr);
+                  double loss, DeliveryWindow* window = nullptr);
+  /// max(config loss, sender override); deliver_to folds in the receiver's.
+  double sender_loss(const Host& tx) const {
+    return tx.loss_override >= 0.0
+               ? std::max(config_.loss_probability, tx.loss_override)
+               : config_.loss_probability;
+  }
   CellSnapshot& snapshot_for(SpatialGrid::CellKey cell);
   /// Any mutation of positions/occupancy/radio state: stale all snapshots.
   void bump_generation() { ++topo_generation_; }
@@ -235,6 +309,12 @@ class Medium {
       snapshots_;
   std::vector<BatchStats> batch_stats_shards_;
   mutable BatchStats batch_stats_fold_;
+
+  /// In-flight tracking (checkpoint support): token -> frame. Tokens are
+  /// minted in schedule order, so they order identically to event seqs.
+  bool track_in_flight_ = false;
+  std::uint64_t next_flight_token_ = 1;
+  std::unordered_map<std::uint64_t, InFlightFrame> flights_;
 };
 
 }  // namespace manet::net

@@ -510,9 +510,106 @@ void Agent::maybe_forward(const Message& m, NodeId transmitter) {
   // shared per-cell snapshots, exactly like a HELLO round.
   if (config_.batched_floods) medium_.hello_batch().enroll(id_);
   const auto delay = sim::Duration::from_us(sim_.rng().uniform_int(0, 100'000));
-  sim_.schedule(delay, [this, copy = std::move(copy)]() mutable {
-    if (running_) broadcast_message(std::move(copy), config_.batched_floods);
+  arm_forward(std::move(copy), sim_.now() + delay);
+}
+
+void Agent::arm_forward(Message copy, sim::Time at) {
+  // schedule_at(now + delay) is what both engines' schedule(delay) resolves
+  // to, so routing everything through here is trace-neutral. The untracked
+  // branch is the original closure verbatim.
+  if (!track_pending_forwards_) {
+    sim_.schedule_at(at, [this, copy = std::move(copy)]() mutable {
+      if (running_) broadcast_message(std::move(copy), config_.batched_floods);
+    });
+    return;
+  }
+  const std::uint64_t token = next_forward_token_++;
+  PendingForward pf{copy, at, 0};
+  const sim::EventId ev =
+      sim_.schedule_at(at, [this, token, copy = std::move(copy)]() mutable {
+        pending_forwards_reg_.erase(token);
+        if (running_)
+          broadcast_message(std::move(copy), config_.batched_floods);
+      });
+  pf.seq = ev.raw();
+  pending_forwards_reg_.emplace(token, std::move(pf));
+}
+
+void Agent::set_track_pending_forwards(bool on) {
+  track_pending_forwards_ = on;
+  if (!on) pending_forwards_reg_.clear();
+}
+
+std::vector<Agent::PendingForward> Agent::pending_forwards() const {
+  std::vector<PendingForward> out;
+  out.reserve(pending_forwards_reg_.size());
+  for (const auto& [token, pf] : pending_forwards_reg_) out.push_back(pf);
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
   });
+  return out;
+}
+
+void Agent::restore_pending_forward(Message message, sim::Time at) {
+  arm_forward(std::move(message), at);
+}
+
+void Agent::reset_tables() {
+  links_ = LinkSet{};
+  neighbors_ = NeighborTable{};
+  topology_ = TopologySet{};
+  duplicates_ = DuplicateSet{};
+  mid_set_ = MidSet{};
+  hna_set_ = HnaSet{};
+  routing_ = RoutingTable{};
+  mprs_.clear();
+  mpr_selectors_.clear();
+  mprs_dirty_ = true;
+  routes_dirty_ = true;
+  mprs_links_hint_ = sim::Time{};
+  routes_links_hint_ = sim::Time{};
+  // msg_seq_/pkt_seq_/ansn_ intentionally keep counting (see header).
+  log_.append(make_record("tables_reset"));
+}
+
+void Agent::resume_running() {
+  if (running_) return;
+  running_ = true;
+  auto handler = [this](const net::Packet& p) { handle_packet(p); };
+  if (medium_.attached(id_)) {
+    medium_.set_handler(id_, std::move(handler));
+  } else {
+    medium_.attach(id_, net::Position{}, std::move(handler));
+  }
+}
+
+Agent::ProtocolScalars Agent::protocol_scalars() const {
+  ProtocolScalars s;
+  s.mprs = mprs_;
+  s.mpr_selectors.assign(mpr_selectors_.begin(), mpr_selectors_.end());
+  s.mprs_dirty = mprs_dirty_;
+  s.routes_dirty = routes_dirty_;
+  s.mprs_links_hint = mprs_links_hint_;
+  s.routes_links_hint = routes_links_hint_;
+  s.msg_seq = msg_seq_;
+  s.pkt_seq = pkt_seq_;
+  s.ansn = ansn_;
+  s.stats = stats_;
+  return s;
+}
+
+void Agent::restore_protocol_scalars(const ProtocolScalars& s) {
+  mprs_ = s.mprs;
+  mpr_selectors_.clear();
+  mpr_selectors_.insert(s.mpr_selectors.begin(), s.mpr_selectors.end());
+  mprs_dirty_ = s.mprs_dirty;
+  routes_dirty_ = s.routes_dirty;
+  mprs_links_hint_ = s.mprs_links_hint;
+  routes_links_hint_ = s.routes_links_hint;
+  msg_seq_ = s.msg_seq;
+  pkt_seq_ = s.pkt_seq;
+  ansn_ = s.ansn;
+  stats_ = s.stats;
 }
 
 // ---------------------------------------------------------------- data plane

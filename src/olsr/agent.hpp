@@ -5,6 +5,9 @@
 #include <initializer_list>
 #include <map>
 #include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "logging/log_store.hpp"
 #include "net/medium.hpp"
@@ -151,7 +154,91 @@ class Agent {
   /// agent emitted it (used by forge attacks; normal code has no use for it).
   void raw_broadcast(Message message);
 
+  // --- fault / checkpoint surface ------------------------------------
+  // Everything below exists so the faults subsystem can crash, amnesia-
+  // restart, snapshot and resume a daemon without perturbing the RNG/event
+  // trace. None of it is for protocol logic.
+
+  /// One jittered §3.4.1 re-broadcast still in flight: the already-mutated
+  /// message copy, its scheduled emission time and the engine sequence
+  /// number of the pending event (checkpoint ordering key). Only populated
+  /// while pending-forward tracking is enabled.
+  struct PendingForward {
+    Message message;
+    sim::Time at{};
+    std::uint64_t seq = 0;
+  };
+
+  /// Enables/disables registry bookkeeping for jittered forwards. Enabling
+  /// changes only which closure wraps the identical schedule call — draws
+  /// and event ordering are untouched. Disabling clears the registry.
+  void set_track_pending_forwards(bool on);
+  bool track_pending_forwards() const { return track_pending_forwards_; }
+  /// Pending jittered forwards, sorted ascending by (at, seq).
+  std::vector<PendingForward> pending_forwards() const;
+  /// Re-schedules one persisted forward at its original emission time.
+  /// Exactly one schedule, zero RNG draws; requires tracking enabled.
+  void restore_pending_forward(Message message, sim::Time at);
+
+  /// Amnesia rejoin: drops every protocol table and all derived state, but
+  /// keeps the msg/pkt/ANSN sequence counters monotonic — a rebooted node
+  /// must never reuse an (originator, seq) pair a peer's DuplicateSet may
+  /// still remember as forwarded. Logs "tables_reset". The daemon must be
+  /// stopped; call start() afterwards to rejoin.
+  void reset_tables();
+
+  /// Checkpoint-restore entry: marks the daemon running and installs the
+  /// medium receive handler WITHOUT starting timers, appending log records
+  /// or drawing from the RNG — the restore path re-arms each timer at its
+  /// persisted deadline via PeriodicTimer::resume_at.
+  void resume_running();
+
+  /// Scalar protocol state persisted by a checkpoint (tables, audit log,
+  /// timers and pending forwards go through their own surfaces).
+  struct ProtocolScalars {
+    std::vector<NodeId> mprs;
+    std::vector<std::pair<NodeId, sim::Time>> mpr_selectors;
+    bool mprs_dirty = true;
+    bool routes_dirty = true;
+    sim::Time mprs_links_hint{};
+    sim::Time routes_links_hint{};
+    std::uint16_t msg_seq = 1;
+    std::uint16_t pkt_seq = 1;
+    std::uint16_t ansn = 1;
+    AgentStats stats;
+  };
+  ProtocolScalars protocol_scalars() const;
+  void restore_protocol_scalars(const ProtocolScalars& s);
+
+  /// Read access for checkpoint save (the other tables already have const
+  /// accessors above).
+  const DuplicateSet& duplicates() const { return duplicates_; }
+
+  /// Mutable table access for checkpoint restore only.
+  LinkSet& restore_links() { return links_; }
+  NeighborTable& restore_neighbors() { return neighbors_; }
+  TopologySet& restore_topology() { return topology_; }
+  DuplicateSet& restore_duplicates() { return duplicates_; }
+  MidSet& restore_mid_set() { return mid_set_; }
+  HnaSet& restore_hna_set() { return hna_set_; }
+  RoutingTable& restore_routes() { return routing_; }
+
+  /// Timer access for checkpoint save (next_fire/pending_seq) and restore
+  /// (resume_at). The MID timer only runs for multi-homed/gateway configs.
+  sim::PeriodicTimer& hello_timer() { return hello_timer_; }
+  sim::PeriodicTimer& tc_timer() { return tc_timer_; }
+  sim::PeriodicTimer& mid_timer() { return mid_timer_; }
+  sim::PeriodicTimer& housekeeping_timer() { return housekeeping_timer_; }
+  const sim::PeriodicTimer& hello_timer() const { return hello_timer_; }
+  const sim::PeriodicTimer& tc_timer() const { return tc_timer_; }
+  const sim::PeriodicTimer& mid_timer() const { return mid_timer_; }
+  const sim::PeriodicTimer& housekeeping_timer() const {
+    return housekeeping_timer_;
+  }
+
  private:
+  void arm_forward(Message copy, sim::Time at);
+
   void handle_packet(const net::Packet& packet);
   void process_hello(const Message& m, NodeId transmitter);
   void process_tc(const Message& m, NodeId transmitter);
@@ -216,6 +303,12 @@ class Agent {
   std::uint16_t pkt_seq_ = 1;
   std::uint16_t ansn_ = 1;
   bool running_ = false;
+
+  // Pending-forward registry (checkpoint support). Tokens are internal
+  // handles; ordering for persistence comes from the event seq.
+  bool track_pending_forwards_ = false;
+  std::uint64_t next_forward_token_ = 1;
+  std::unordered_map<std::uint64_t, PendingForward> pending_forwards_reg_;
 
   sim::PeriodicTimer hello_timer_;
   sim::PeriodicTimer tc_timer_;

@@ -29,12 +29,18 @@ class MidSet {
   std::vector<NodeId> interfaces_of(NodeId main) const;
   std::size_t size() const { return assoc_.size(); }
 
- private:
+  /// One persisted association row (sorted by iface in storage).
   struct Tuple {
     NodeId iface;
     NodeId main;
     sim::Time valid_until{};
   };
+
+  /// Checkpoint surface.
+  const std::vector<Tuple>& tuples() const { return assoc_; }
+  void restore(std::vector<Tuple> tuples) { assoc_ = std::move(tuples); }
+
+ private:
   std::vector<Tuple> assoc_;  // sorted by iface
 };
 
@@ -52,13 +58,23 @@ class HnaSet {
                                    std::uint8_t prefix_len) const;
   std::size_t size() const { return tuples_.size(); }
 
- private:
+  /// One persisted external-route key (sorted storage order).
   struct Key {
     NodeId gateway;
     std::uint32_t network;
     std::uint8_t prefix_len;
     auto operator<=>(const Key&) const = default;
   };
+
+  /// Checkpoint surface.
+  const std::vector<std::pair<Key, sim::Time>>& tuples() const {
+    return tuples_;
+  }
+  void restore(std::vector<std::pair<Key, sim::Time>> tuples) {
+    tuples_ = std::move(tuples);
+  }
+
+ private:
   std::vector<std::pair<Key, sim::Time>> tuples_;  // sorted by Key
 };
 

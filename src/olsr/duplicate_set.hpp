@@ -36,19 +36,31 @@ class DuplicateSet {
   void expire(sim::Time now);
   std::size_t size() const { return entries_.size(); }
 
- private:
+  /// One indexed record: a processed (originator, seq) with its expiry.
   struct Entry {
     NodeId originator;
     std::uint16_t seq = 0;
     sim::Time valid_until{};
     bool forwarded = false;
   };
+  /// One FIFO expiry-ring stamp (may be stale if the entry was refreshed).
   struct RingSlot {
     NodeId originator;
     std::uint16_t seq = 0;
     sim::Time expiry{};
   };
 
+  /// Checkpoint surface: both the sorted index and the expiry ring are
+  /// persisted verbatim, so post-restore expire() pops the same prefix the
+  /// uninterrupted run would.
+  const std::vector<Entry>& entries() const { return entries_; }
+  const std::deque<RingSlot>& ring() const { return ring_; }
+  void restore(std::vector<Entry> entries, std::deque<RingSlot> ring) {
+    entries_ = std::move(entries);
+    ring_ = std::move(ring);
+  }
+
+ private:
   const Entry* find(NodeId originator, std::uint16_t seq) const;
 
   std::vector<Entry> entries_;  // sorted by (originator, seq)

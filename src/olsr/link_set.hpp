@@ -78,12 +78,25 @@ class LinkSet {
   /// itself (one O(n) sweep) once `now` passes it.
   sim::Time next_transition(sim::Time now);
 
- private:
+  /// One slab row as persisted by a checkpoint: the RFC tuple plus the
+  /// previous-symmetry flag the transition reporting keys off.
   struct Slot {
     LinkTuple tuple;
     bool was_symmetric = false;
   };
 
+  /// Checkpoint surface: the raw slab (ascending neighbor id) and the
+  /// symmetry-boundary hint, restored verbatim so post-restore recompute
+  /// skipping matches the uninterrupted run decision for decision.
+  /// (Every skip/recompute choice after restore is byte-identical.)
+  const std::vector<Slot>& slots() const { return links_; }
+  sim::Time transition_hint() const { return transition_hint_; }
+  void restore(std::vector<Slot> slots, sim::Time hint) {
+    links_ = std::move(slots);
+    transition_hint_ = hint;
+  }
+
+ private:
   // Sorted ascending by tuple.neighbor.
   std::vector<Slot> links_;
   sim::Time transition_hint_ = kNoTransition;

@@ -75,6 +75,16 @@ class NeighborTable {
   /// 2-hop neighbors advertised by a specific neighbor, sorted ascending.
   std::vector<NodeId> two_hops_via(NodeId via) const;
 
+  /// Checkpoint surface: raw slabs in their sorted storage order.
+  const std::vector<NeighborTuple>& neighbor_tuples() const {
+    return neighbors_;
+  }
+  void restore(std::vector<NeighborTuple> neighbors,
+               std::vector<TwoHopTuple> two_hops) {
+    neighbors_ = std::move(neighbors);
+    two_hops_ = std::move(two_hops);
+  }
+
  private:
   bool is_symmetric_neighbor(NodeId id) const;
   // Iterator range of two_hops_ advertised by `via`.

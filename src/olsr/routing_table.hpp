@@ -133,6 +133,34 @@ class RoutingTable {
                          std::span<const NodeId>{avoid.begin(), avoid.size()});
   }
 
+  /// Checkpoint image of the table: the CSR snapshot the incremental
+  /// recompute diffs against plus the dense route arrays. Restoring the
+  /// snapshot verbatim means the no-op / incremental / full-rebuild choice
+  /// on the next recompute is the same one the uninterrupted run makes —
+  /// and the (added, removed) diff the agent logs depends on `dests`.
+  struct Persisted {
+    NodeId self{};
+    std::vector<NodeId> node_ids;
+    std::vector<std::uint32_t> offsets;
+    std::vector<std::uint32_t> targets;
+    std::vector<std::int32_t> dist;
+    std::vector<NodeId> parent;
+    std::vector<NodeId> dests;
+  };
+  Persisted persist() const {
+    return Persisted{self_,  node_ids_, offsets_, targets_,
+                     dist_,  parent_,   dests_};
+  }
+  void restore(Persisted p) {
+    self_ = p.self;
+    node_ids_ = std::move(p.node_ids);
+    offsets_ = std::move(p.offsets);
+    targets_ = std::move(p.targets);
+    dist_ = std::move(p.dist);
+    parent_ = std::move(p.parent);
+    dests_ = std::move(p.dests);
+  }
+
  private:
   static constexpr std::int32_t kUnreachable = -1;
 

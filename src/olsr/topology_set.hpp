@@ -53,6 +53,17 @@ class TopologySet {
 
   std::size_t size() const { return tuples_.size(); }
 
+  /// Checkpoint surface: the tuple slab plus the per-originator latest-ANSN
+  /// index (both in sorted storage order).
+  const std::vector<std::pair<NodeId, std::uint16_t>>& latest_ansn() const {
+    return latest_ansn_;
+  }
+  void restore(std::vector<TopologyTuple> tuples,
+               std::vector<std::pair<NodeId, std::uint16_t>> latest_ansn) {
+    tuples_ = std::move(tuples);
+    latest_ansn_ = std::move(latest_ansn);
+  }
+
  private:
   std::pair<std::size_t, std::size_t> origin_range(NodeId originator) const;
 

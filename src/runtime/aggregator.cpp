@@ -129,6 +129,60 @@ std::vector<RoundRow> Aggregator::per_round(
   return rows;
 }
 
+std::vector<DegradationRow> Aggregator::degradation(
+    std::span<const ReplicationResult> results) const {
+  struct Accum {
+    GridPoint point;
+    std::vector<stats::RunningStats> down, false_conv, suppressed;
+    std::vector<std::size_t> converged, total;
+    stats::RunningStats reconverge;
+  };
+  std::map<std::size_t, Accum> groups;
+  for (const auto& r : results) {
+    if (r.down_per_round.empty()) continue;  // pristine replication
+    auto& g = groups[r.point_index];
+    g.point = r.point;
+    const auto rounds = r.down_per_round.size();
+    if (g.down.size() < rounds) {
+      g.down.resize(rounds);
+      g.false_conv.resize(rounds);
+      g.suppressed.resize(rounds);
+      g.converged.resize(rounds);
+      g.total.resize(rounds);
+    }
+    for (std::size_t i = 0; i < rounds; ++i) {
+      g.down[i].add(static_cast<double>(r.down_per_round[i]));
+      g.false_conv[i].add(static_cast<double>(r.false_conv_per_round[i]));
+      g.suppressed[i].add(static_cast<double>(r.suppressed_per_round[i]));
+      if (r.converged_per_round[i]) ++g.converged[i];
+      ++g.total[i];
+    }
+    if (r.reconverge_rounds >= 0)
+      g.reconverge.add(static_cast<double>(r.reconverge_rounds));
+  }
+
+  std::vector<DegradationRow> rows;
+  for (const auto& [point_index, g] : groups) {
+    const double reconverge_mean =
+        g.reconverge.count() ? g.reconverge.mean() : -1.0;
+    for (std::size_t i = 0; i < g.down.size(); ++i) {
+      DegradationRow row;
+      row.point_index = point_index;
+      row.point = g.point;
+      row.round = static_cast<int>(i) + 1;
+      row.down_mean = g.down[i].mean();
+      row.false_conv_mean = g.false_conv[i].mean();
+      row.suppressed_mean = g.suppressed[i].mean();
+      row.converged_frac = g.total[i] ? static_cast<double>(g.converged[i]) /
+                                            static_cast<double>(g.total[i])
+                                      : 0.0;
+      row.reconverge_mean = reconverge_mean;
+      rows.push_back(std::move(row));
+    }
+  }
+  return rows;
+}
+
 std::string Aggregator::to_csv(std::span<const AggregateRow> rows) {
   std::string out =
       "nodes,liar_fraction,liars,mobility,replications,detection_rate,"
@@ -196,6 +250,32 @@ std::string Aggregator::per_round_csv(std::span<const RoundRow> rows) {
     out += std::to_string(row.round);
     out += ',';
     append_ci(out, row.detect);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Aggregator::degradation_csv(std::span<const DegradationRow> rows) {
+  // Deliberately a separate table from per_round_csv: the golden Fig. 3
+  // fixtures pin that header byte for byte, so degradation metrics get
+  // their own file instead of new columns there.
+  std::string out =
+      "nodes,liar_fraction,liars,mobility,round,down_mean,false_conv_mean,"
+      "suppressed_mean,converged_frac,reconverge_mean\n";
+  for (const auto& row : rows) {
+    append_point_columns(out, row.point);
+    out += ',';
+    out += std::to_string(row.round);
+    out += ',';
+    out += fmt(row.down_mean);
+    out += ',';
+    out += fmt(row.false_conv_mean);
+    out += ',';
+    out += fmt(row.suppressed_mean);
+    out += ',';
+    out += fmt(row.converged_frac);
+    out += ',';
+    out += fmt(row.reconverge_mean);
     out += '\n';
   }
   return out;

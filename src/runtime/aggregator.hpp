@@ -35,6 +35,23 @@ struct RoundRow {
   stats::ConfidenceInterval detect;
 };
 
+/// One (grid point, round) cell of the graceful-degradation trajectory of
+/// a faulted sweep. Means are over the point's faulted replications; the
+/// re-convergence latency is a per-replication scalar, repeated on every
+/// round row of its point for a flat CSV.
+struct DegradationRow {
+  std::size_t point_index = 0;
+  GridPoint point;
+  int round = 0;
+  double down_mean = 0.0;        ///< nodes down at round end
+  double false_conv_mean = 0.0;  ///< cumulative false convictions
+  double suppressed_mean = 0.0;  ///< cumulative liveness-gate suppressions
+  double converged_frac = 0.0;   ///< fraction of replications converged
+  /// Mean rounds-to-reconverge after the last heal, over replications that
+  /// did re-converge; -1 when none did (or the plans had no heal).
+  double reconverge_mean = -1.0;
+};
+
 /// Folds per-replication results into per-point statistics with the
 /// existing stats/ layer. Input order does not matter beyond tie-breaking:
 /// rows come out sorted by point_index, so any thread interleaving of the
@@ -51,9 +68,15 @@ class Aggregator {
   std::vector<RoundRow> per_round(
       std::span<const ReplicationResult> results) const;
 
+  /// Round-by-round degradation trajectory per grid point; only results
+  /// with a degradation trajectory (faulted tasks) contribute.
+  std::vector<DegradationRow> degradation(
+      std::span<const ReplicationResult> results) const;
+
   static std::string to_csv(std::span<const AggregateRow> rows);
   static std::string to_json(std::span<const AggregateRow> rows);
   static std::string per_round_csv(std::span<const RoundRow> rows);
+  static std::string degradation_csv(std::span<const DegradationRow> rows);
 
  private:
   double level_;

@@ -63,6 +63,19 @@ scenario::TrustExperiment::Config ReplicationTask::to_config() const {
   cfg.engine = engine;
   cfg.engine_threads = engine_threads;
   cfg.shards = shards;
+  if (chaos) {
+    // Chaos window: opens after the 15 s OLSR warm-up, sized to the round
+    // budget so restarts land while rounds are still being driven. The
+    // arena edge mirrors scenario/grid_layout's 50 m spacing.
+    const auto cols = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(point.num_nodes))));
+    cfg.fault_plan = faults::FaultPlan::chaos(
+        seed, point.num_nodes, static_cast<double>(cols) * 50.0,
+        sim::Time::from_seconds(20.0),
+        sim::Time::from_seconds(20.0 + 5.0 * static_cast<double>(rounds)));
+  } else {
+    cfg.fault_plan = fault_plan;
+  }
   return cfg;
 }
 
@@ -92,6 +105,8 @@ std::vector<ReplicationTask> ExperimentSpec::expand() const {
       task.rounds = rounds;
       task.engine = engine;
       task.shards = shards;
+      task.chaos = chaos;
+      task.fault_plan = fault_plan;
       tasks.push_back(task);
     }
   }
@@ -138,13 +153,44 @@ ReplicationResult run_replication(const ReplicationTask& task,
   result.seed = task.seed;
   result.detect_per_round.reserve(static_cast<std::size_t>(task.rounds));
 
+  const bool faulted = task.faulted();
+  std::vector<sim::Time> round_ends;
   scenario::TrustExperiment::RoundSnapshot last;
   for (int r = 0; r < task.rounds; ++r) {
-    last = exp.run_round();
+    last = faulted ? exp.run_churn_round() : exp.run_round();
     result.detect_per_round.push_back(last.detect);
+    if (faulted) {
+      result.down_per_round.push_back(last.down);
+      result.false_conv_per_round.push_back(last.false_convictions);
+      result.suppressed_per_round.push_back(last.suppressed);
+      result.converged_per_round.push_back(last.converged);
+      round_ends.push_back(last.at);
+    }
     if (result.conviction_round < 0 &&
         last.verdict == trust::Verdict::kIntruder) {
       result.conviction_round = last.round;
+    }
+  }
+
+  if (faulted) {
+    result.invariant_violations = exp.invariants()->violations().size();
+    // Re-convergence latency: rounds from the plan's last heal to the
+    // first round that ended converged after it.
+    const auto heal = exp.injector()->last_heal();
+    if (heal > sim::Time{}) {
+      std::size_t first_after = round_ends.size();
+      for (std::size_t i = 0; i < round_ends.size(); ++i) {
+        if (round_ends[i] >= heal) {
+          first_after = i;
+          break;
+        }
+      }
+      for (std::size_t i = first_after; i < round_ends.size(); ++i) {
+        if (result.converged_per_round[i]) {
+          result.reconverge_rounds = static_cast<int>(i - first_after);
+          break;
+        }
+      }
     }
   }
 

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "scenario/trust_experiment.hpp"
 #include "trust/detection.hpp"
 
@@ -52,6 +53,14 @@ struct ReplicationTask {
   sim::EngineKind engine = sim::EngineKind::kSequential;
   unsigned engine_threads = 1;  ///< sharded workers; 0 = hardware
   unsigned shards = 0;          ///< sharded spatial shards; 0 = auto
+  /// Chaos mode: derive a seeded FaultPlan from this task (node churn,
+  /// brown-out, netsplit — see faults::FaultPlan::chaos) so every
+  /// replication gets its own deterministic disturbance schedule.
+  bool chaos = false;
+  /// Explicit fault schedule (used when `chaos` is false); empty = pristine.
+  faults::FaultPlan fault_plan;
+
+  bool faulted() const { return chaos || !fault_plan.empty(); }
 
   /// The scenario config this task denotes, ready for TrustExperiment.
   scenario::TrustExperiment::Config to_config() const;
@@ -74,6 +83,20 @@ struct ReplicationResult {
   double mean_honest_trust = 0.0;
   std::vector<double> detect_per_round;  ///< Eq. 8 trajectory (Fig. 3)
   std::uint64_t control_messages = 0;    ///< HELLO+TC sent network-wide (overhead)
+
+  // --- graceful-degradation trajectory (faulted tasks only; empty else) ---
+  std::vector<std::size_t> down_per_round;  ///< nodes down at round end
+  /// Cumulative false convictions of crashed-but-honest bystanders.
+  std::vector<std::uint64_t> false_conv_per_round;
+  /// Cumulative liveness-gate suppressions by the detector.
+  std::vector<std::uint64_t> suppressed_per_round;
+  std::vector<bool> converged_per_round;  ///< up-aware convergence flag
+  /// Rounds from the plan's last heal event to the first converged round
+  /// after it: 0 = converged at the first post-heal check, -1 = the run
+  /// never re-converged (or the plan had no heal).
+  int reconverge_rounds = -1;
+  /// Safety-rule violations flagged by the invariant checker (should be 0).
+  std::uint64_t invariant_violations = 0;
 };
 
 /// Declarative description of a full sweep: the cartesian grid
@@ -89,6 +112,11 @@ struct ExperimentSpec {
   /// Runner::run.
   sim::EngineKind engine = sim::EngineKind::kSequential;
   unsigned shards = 0;  ///< sharded spatial shards per replication; 0 = auto
+  /// Chaos mode for every replication (the `chaos` CLI preset): each task
+  /// derives its own seeded fault plan. Mutually exclusive with fault_plan.
+  bool chaos = false;
+  /// One explicit fault schedule shared by every replication (--faults FILE).
+  faults::FaultPlan fault_plan;
   trust::TrustParams trust_params;
   trust::DecisionConfig decision;
 

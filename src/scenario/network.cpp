@@ -109,9 +109,18 @@ void Network::stop_all() {
 
 bool Network::converged() const {
   for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const auto a = id_of(i);
+    if (!medium_.is_up(a)) continue;
     for (std::size_t j = 0; j < agents_.size(); ++j) {
       if (i == j) continue;
-      if (!agents_[i]->routes().route_to(id_of(j))) return false;
+      const auto b = id_of(j);
+      // Down or partitioned-away peers are unreachable by construction, so
+      // demanding a route to them would make convergence unobservable for
+      // the whole churn window; the up-aware criterion asks only for full
+      // routes among the nodes that *can* talk.
+      if (!medium_.is_up(b) || medium_.partition(a) != medium_.partition(b))
+        continue;
+      if (!agents_[i]->routes().route_to(b)) return false;
     }
   }
   return true;

@@ -117,7 +117,10 @@ class Network {
   }
 
   /// True when every pair of attached nodes has a route to each other in
-  /// both routing tables (control-plane convergence).
+  /// both routing tables (control-plane convergence). Up-aware: pairs where
+  /// either host is down, or that a netsplit separates, are exempt — the
+  /// criterion measures convergence among the nodes that can communicate,
+  /// which is what the fault-injection re-convergence metric needs.
   bool converged() const;
 
  private:

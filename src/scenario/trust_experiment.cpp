@@ -1,9 +1,14 @@
 #include "scenario/trust_experiment.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
+#include "faults/checkpoint.hpp"
 #include "net/topology.hpp"
+#include "olsr/wire.hpp"
 
 namespace manet::scenario {
 
@@ -12,6 +17,7 @@ TrustExperiment::TrustExperiment(Config config) : config_{std::move(config)} {
     throw std::invalid_argument{"need at least 4 nodes"};
   if (config_.num_liars + 2 > config_.num_nodes)
     throw std::invalid_argument{"too many liars"};
+  config_.fault_plan.sort();
   phantom_ = NodeId{static_cast<std::uint32_t>(config_.num_nodes + 83)};
 }
 
@@ -21,7 +27,36 @@ bool TrustExperiment::is_liar(NodeId id) const {
   return std::find(liars_.begin(), liars_.end(), id) != liars_.end();
 }
 
-void TrustExperiment::setup() {
+faults::FaultInjector::NodeOps TrustExperiment::node_ops() {
+  // Each op runs in the node's engine context: a plain call sequentially
+  // (already inside the injector's event), a lane binding under psim (the
+  // step-mode injector executes at a quiescent barrier, and start() draws
+  // timer jitter from the node's own stream).
+  faults::FaultInjector::NodeOps ops;
+  ops.crash = [this](NodeId id) {
+    const std::size_t i = id.value();
+    network_->run_as(i, [&] { network_->agent(i).stop(); });
+  };
+  ops.restart = [this](NodeId id) {
+    const std::size_t i = id.value();
+    network_->run_as(i, [&] { network_->agent(i).start(); });
+  };
+  ops.restart_amnesia = [this](NodeId id) {
+    const std::size_t i = id.value();
+    network_->run_as(i, [&] {
+      auto& agent = network_->agent(i);
+      agent.reset_tables();
+      agent.start();
+    });
+  };
+  return ops;
+}
+
+void TrustExperiment::build_network() {
+  if (config_.checkpointable && config_.engine != sim::EngineKind::kSequential)
+    throw std::invalid_argument{
+        "checkpointable runs require the sequential engine"};
+
   Network::Config nc;
   nc.seed = config_.seed;
   // A compact cluster: every node within radio range of every other, so all
@@ -59,11 +94,17 @@ void TrustExperiment::setup() {
     }
   }
 
-  // The investigator (node 0) runs the detector.
+  // The investigator (node 0) runs the detector. Faulted runs get the
+  // liveness gate and unresponsive decay; pristine runs keep the exact
+  // golden-trace behavior.
   core::DetectorConfig dc;
   dc.trust_params = config_.trust_params;
   dc.decision = config_.decision;
   dc.investigation = config_.investigation;
+  if (faulted()) {
+    dc.liveness_window = config_.liveness_window;
+    dc.decay_unresponsive = true;
+  }
   detector_ = &network_->add_detector(0, dc);
 
   // Random initial trust (the paper: "Initially, we randomly set the trust
@@ -75,10 +116,71 @@ void TrustExperiment::setup() {
                             config_.initial_trust_max));
   }
 
+  if (config_.checkpointable) {
+    network_->medium().set_track_in_flight(true);
+    for (std::size_t i = 0; i < config_.num_nodes; ++i)
+      network_->agent(i).set_track_pending_forwards(true);
+  }
+
+  if (faulted()) {
+    injector_ = std::make_unique<faults::FaultInjector>(
+        network_->sim(), network_->medium(), config_.fault_plan, node_ops());
+    invariants_ = std::make_unique<faults::InvariantChecker>(
+        network_->medium(), *injector_);
+  }
+}
+
+void TrustExperiment::drive(sim::Duration d) {
+  if (injector_ && network_->sharded() != nullptr) {
+    // Step mode: fault events apply at the 250 ms window barriers, where
+    // every worker lane is quiescent — thread-count independent.
+    const auto slice = sim::Duration::from_ms(250);
+    auto remaining = d;
+    while (remaining > sim::Duration{}) {
+      const auto step = remaining < slice ? remaining : slice;
+      network_->run_for(step);
+      injector_->run_until(network_->now());
+      remaining = remaining - step;
+    }
+  } else {
+    network_->run_for(d);
+  }
+}
+
+void TrustExperiment::setup() {
+  build_network();
   network_->start_all();
+  // Sequential runs replay the plan through the event queue at exact
+  // times; sharded runs step it from drive() instead.
+  if (injector_ && network_->sharded() == nullptr) injector_->arm();
   // Let OLSR converge: links become symmetric after two HELLO exchanges;
   // give the cluster a comfortable margin.
-  network_->run_for(sim::Duration::from_seconds(15.0));
+  drive(sim::Duration::from_seconds(15.0));
+}
+
+core::DetectionReport TrustExperiment::run_investigation(
+    NodeId suspect, NodeId subject, const std::vector<NodeId>& verifiers) {
+  core::DetectionReport report;
+  bool done = false;
+  detector_->set_report_callback([&](const core::DetectionReport& r) {
+    report = r;
+    done = true;
+  });
+  // The kick draws and schedules in the investigator's context — under the
+  // sharded engine that must happen on node 0's lane and stream.
+  network_->run_as(0, [&] {
+    detector_->investigate_claim(suspect, subject, /*claimed_up=*/true,
+                                 {core::EvidenceTag::kE1MprReplaced},
+                                 verifiers);
+  });
+
+  // Drive the simulation until the round's report lands (bounded wait).
+  const auto deadline = network_->now() + sim::Duration::from_seconds(60.0);
+  while (!done && network_->now() < deadline)
+    drive(sim::Duration::from_ms(250));
+  detector_->set_report_callback({});
+  if (!done) throw std::runtime_error{"investigation round never completed"};
+  return report;
 }
 
 TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
@@ -90,27 +192,12 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
   verifiers.insert(verifiers.end(), honest_.begin(), honest_.end());
   verifiers.insert(verifiers.end(), liars_.begin(), liars_.end());
 
-  bool done = false;
-  detector_->set_report_callback([&](const core::DetectionReport& report) {
-    snap.detect = report.detect;
-    snap.verdict = report.verdict;
-    snap.margin = report.interval.margin;
-    done = true;
-  });
-  // The kick draws and schedules in the investigator's context — under the
-  // sharded engine that must happen on node 0's lane and stream.
-  network_->run_as(0, [&] {
-    detector_->investigate_claim(attacker(), phantom_, /*claimed_up=*/true,
-                                 {core::EvidenceTag::kE1MprReplaced},
-                                 verifiers);
-  });
-
-  // Drive the simulation until the round's report lands (bounded wait).
-  const auto deadline = network_->now() + sim::Duration::from_seconds(60.0);
-  while (!done && network_->now() < deadline)
-    network_->run_for(sim::Duration::from_ms(250));
-  detector_->set_report_callback({});
-  if (!done) throw std::runtime_error{"investigation round never completed"};
+  const auto report = run_investigation(attacker(), phantom_, verifiers);
+  snap.detect = report.detect;
+  snap.verdict = report.verdict;
+  snap.margin = report.interval.margin;
+  snap.at = network_->now();
+  if (invariants_) invariants_->check_conviction(network_->now(), report);
 
   for (std::size_t i = 1; i < config_.num_nodes; ++i) {
     const auto id = Network::id_of(i);
@@ -119,11 +206,71 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
   return snap;
 }
 
+TrustExperiment::RoundSnapshot TrustExperiment::run_churn_round() {
+  RoundSnapshot snap = run_round();
+
+  if (injector_) {
+    // Churn rounds run on a fixed 5 s cadence: the investigation itself is
+    // sub-second, so pad each round with idle simulation until its slot
+    // ends. The padding is what gives fault events room to land between
+    // investigations (FaultPlan::chaos sizes its window to this cadence)
+    // and gives the OLSR plane time to react before the probe below.
+    const auto slot_end = sim::Time::from_seconds(
+        15.0 + 5.0 * static_cast<double>(round_counter_));
+    if (network_->now() < slot_end) drive(slot_end - network_->now());
+
+    // False-conviction probe: the lowest-id down bystander is a crashed,
+    // honest node whose links have gone stale — exactly what a naive
+    // detector convicts. Its "claim" of a live link to the investigator is
+    // investigated like any spoofing suspicion; verifiers whose tables
+    // have expired the links answer against it.
+    NodeId probe{};
+    for (const auto& [id, since] : injector_->down_nodes()) {
+      if (id == investigator() || id == attacker()) continue;
+      probe = id;
+      break;
+    }
+    if (probe.valid()) {
+      std::vector<NodeId> verifiers;
+      for (const auto id : honest_)
+        if (id != probe) verifiers.push_back(id);
+      for (const auto id : liars_)
+        if (id != probe) verifiers.push_back(id);
+      const auto report = run_investigation(probe, investigator(), verifiers);
+      if (report.verdict == trust::Verdict::kIntruder) ++false_convictions_;
+      invariants_->check_conviction(network_->now(), report);
+    }
+
+    const auto now = network_->now();
+    invariants_->check_trust_bounds(now, investigator(),
+                                    detector_->trust_store());
+    for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+      const auto id = Network::id_of(i);
+      if (network_->medium().is_up(id))
+        invariants_->check_routing(now, id, network_->agent(i).routes());
+    }
+
+    // The probe may have moved trust values; re-snapshot after it.
+    for (std::size_t i = 1; i < config_.num_nodes; ++i) {
+      const auto id = Network::id_of(i);
+      snap.trust[id] = detector_->trust_store().trust(id);
+    }
+  }
+
+  snap.down = injector_ ? injector_->down_count() : 0;
+  snap.suppressed = detector_->degradation().suppressed_convictions;
+  snap.false_convictions = false_convictions_;
+  snap.converged = network_->converged();
+  snap.at = network_->now();
+  return snap;
+}
+
 TrustExperiment::RoundSnapshot TrustExperiment::run_idle_round() {
   RoundSnapshot snap;
   snap.round = ++round_counter_;
   detector_->trust_store().decay_all_idle();
-  network_->run_for(sim::Duration::from_seconds(2.0));
+  drive(sim::Duration::from_seconds(2.0));
+  snap.at = network_->now();
   for (std::size_t i = 1; i < config_.num_nodes; ++i) {
     const auto id = Network::id_of(i);
     snap.trust[id] = detector_->trust_store().trust(id);
@@ -148,6 +295,164 @@ std::vector<TrustExperiment::RoundSnapshot> TrustExperiment::run_attack_rounds(
   out.reserve(static_cast<std::size_t>(rounds));
   for (int i = 0; i < rounds; ++i) out.push_back(run_round());
   return out;
+}
+
+// ----------------------------------------------------------- checkpointing
+
+std::vector<std::uint8_t> TrustExperiment::save_checkpoint() {
+  if (!config_.checkpointable)
+    throw std::logic_error{"save_checkpoint requires checkpointable mode"};
+  if (network_ == nullptr || network_->sharded() != nullptr)
+    throw std::logic_error{"save_checkpoint requires the sequential engine"};
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    if (network_->investigations(i).outstanding() != 0)
+      throw std::logic_error{
+          "save_checkpoint at a round boundary only (outstanding "
+          "investigations)"};
+  }
+
+  faults::CheckpointWriter w;
+  w.u32(faults::kCheckpointMagic);
+  w.u32(faults::kCheckpointVersion);
+  w.u32(static_cast<std::uint32_t>(config_.num_nodes));
+  w.u64(config_.seed);
+  w.i64(round_counter_);
+  w.u64(false_convictions_);
+  w.time(network_->now());
+  faults::encode_rng(w, network_->sim().rng().state());
+  faults::encode_medium(w, network_->medium());
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    faults::encode_agent(w, network_->agent(i));
+    faults::encode_investigations(w, network_->investigations(i));
+  }
+  faults::encode_detector(w, *detector_);
+  w.boolean(spoof_->active());
+  w.u64(spoof_->forged_count());
+  w.boolean(injector_ != nullptr);
+  if (injector_) {
+    w.u64(injector_->cursor());
+    const auto down = injector_->down_nodes();
+    w.count(down.size());
+    for (const auto& [id, since] : down) {
+      w.node(id);
+      w.time(since);
+    }
+    w.time(injector_->last_disruption());
+    w.time(injector_->last_heal());
+    w.boolean(injector_->armed());
+    w.time(injector_->pending_at());
+    w.u64(injector_->pending_seq());
+  }
+  return w.take();
+}
+
+std::unique_ptr<TrustExperiment> TrustExperiment::restore_checkpoint(
+    Config config, const std::vector<std::uint8_t>& bytes) {
+  auto exp = std::make_unique<TrustExperiment>(std::move(config));
+  exp->apply_restored(bytes);
+  return exp;
+}
+
+void TrustExperiment::apply_restored(const std::vector<std::uint8_t>& bytes) {
+  if (!config_.checkpointable)
+    throw std::invalid_argument{"restore requires a checkpointable config"};
+  // Rebuild the object graph exactly as setup() does — no timers armed, no
+  // draws from the network's RNG — then overwrite all state and re-arm the
+  // pending events.
+  build_network();
+
+  faults::CheckpointReader r{bytes};
+  if (r.u32() != faults::kCheckpointMagic)
+    throw faults::CheckpointError{"bad checkpoint magic"};
+  if (const auto v = r.u32(); v != faults::kCheckpointVersion)
+    throw faults::CheckpointError{"unsupported checkpoint version " +
+                                  std::to_string(v)};
+  if (r.u32() != config_.num_nodes)
+    throw faults::CheckpointError{"checkpoint node count mismatch"};
+  if (r.u64() != config_.seed)
+    throw faults::CheckpointError{"checkpoint seed mismatch"};
+  round_counter_ = static_cast<int>(r.i64());
+  false_convictions_ = r.u64();
+  const sim::Time now = r.time();
+
+  auto& sim = network_->sim();
+  sim.restore_now(now);
+  sim.rng().set_state(faults::decode_rng(r));
+
+  // Pending-event re-arm protocol: collect everything that was in the
+  // queue at save time, sort by (time, original seq), arm in that order.
+  // Fresh consecutive seqs then preserve every original tie-break.
+  struct ResumeItem {
+    sim::Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  std::vector<ResumeItem> items;
+
+  const faults::MediumImage medium_img =
+      faults::decode_medium(r, network_->medium());
+  for (const auto& f : medium_img.flights)
+    items.push_back({f.arrival, f.seq,
+                     [this, f] { network_->medium().restore_in_flight(f); }});
+
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    auto& agent = network_->agent(i);
+    const faults::AgentImage img = faults::decode_agent(r, agent);
+    if (img.running) agent.resume_running();
+    const auto arm_timer = [&items](sim::PeriodicTimer& t,
+                                    const faults::TimerImage& ti) {
+      if (!ti.running) return;
+      items.push_back(
+          {ti.next_fire, ti.seq, [&t, at = ti.next_fire] { t.resume_at(at); }});
+    };
+    arm_timer(agent.hello_timer(), img.hello);
+    arm_timer(agent.tc_timer(), img.tc);
+    arm_timer(agent.mid_timer(), img.mid);
+    arm_timer(agent.housekeeping_timer(), img.housekeeping);
+    for (const auto& fwd : img.forwards) {
+      auto packet = olsr::parse_packet(fwd.message);
+      if (packet.messages.size() != 1)
+        throw faults::CheckpointError{"corrupt pending-forward message"};
+      items.push_back({fwd.at, fwd.seq,
+                       [&agent, msg = std::move(packet.messages.front()),
+                        at = fwd.at] { agent.restore_pending_forward(msg, at); }});
+    }
+    faults::decode_investigations(r, network_->investigations(i));
+  }
+
+  faults::decode_detector(r, *detector_);
+  spoof_->set_active(r.boolean());
+  spoof_->restore_forged(r.u64());
+
+  const bool has_injector = r.boolean();
+  if (has_injector != (injector_ != nullptr))
+    throw faults::CheckpointError{"fault plan presence mismatch"};
+  if (injector_) {
+    const auto cursor = static_cast<std::size_t>(r.u64());
+    const std::size_t ndown = r.count();
+    std::vector<std::pair<NodeId, sim::Time>> down;
+    down.reserve(ndown);
+    for (std::size_t k = 0; k < ndown; ++k) {
+      const auto id = r.node();
+      const auto since = r.time();
+      down.emplace_back(id, since);
+    }
+    const auto last_disruption = r.time();
+    const auto last_heal = r.time();
+    injector_->restore(cursor, std::move(down), last_disruption, last_heal);
+    const bool armed = r.boolean();
+    const auto at = r.time();
+    const auto seq = r.u64();
+    if (armed) items.push_back({at, seq, [this] { injector_->arm(); }});
+  }
+  if (!r.at_end())
+    throw faults::CheckpointError{"trailing bytes after checkpoint"};
+
+  std::stable_sort(items.begin(), items.end(),
+                   [](const ResumeItem& a, const ResumeItem& b) {
+                     return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+                   });
+  for (const auto& item : items) item.fn();
 }
 
 }  // namespace manet::scenario

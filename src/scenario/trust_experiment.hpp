@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "attacks/link_spoofing.hpp"
+#include "faults/fault_plan.hpp"
+#include "faults/injector.hpp"
+#include "faults/invariants.hpp"
 #include "scenario/network.hpp"
 
 namespace manet::scenario {
@@ -38,15 +41,40 @@ class TrustExperiment {
     sim::EngineKind engine = sim::EngineKind::kSequential;
     unsigned engine_threads = 0;  ///< sharded workers; 0 = hardware
     unsigned shards = 0;          ///< sharded spatial shards; 0 = auto
+    /// Deterministic disturbance schedule; empty = pristine run (the
+    /// golden traces). Under the sequential engine the plan replays
+    /// through the event queue at exact times; under the sharded engine
+    /// it is stepped at the 250 ms drive boundaries, where every worker
+    /// lane is quiescent — either way the run is byte-stable in the seed
+    /// and independent of engine_threads.
+    faults::FaultPlan fault_plan;
+    /// Opt in to checkpoint/restore: turns on in-flight and pending-forward
+    /// tracking (trace-identical bookkeeping). Sequential engine only.
+    bool checkpointable = false;
+    /// Detector fault tolerance, applied only when fault_plan is non-empty
+    /// (keeps the pristine golden traces untouched): convictions of nodes
+    /// not heard from within this window are downgraded, and unresponsive
+    /// investigation responders decay instead of freezing.
+    sim::Duration liveness_window = sim::Duration::from_seconds(10.0);
   };
 
   struct RoundSnapshot {
     int round = 0;
+    sim::Time at{};       ///< virtual time when the round ended
     double detect = 0.0;  ///< Eq. 8 for this round
     trust::Verdict verdict = trust::Verdict::kUnrecognized;
     double margin = 0.0;  ///< Eq. 9 epsilon
     /// Investigator's trust per node after the round's updates.
     std::map<NodeId, double> trust;
+    // --- graceful-degradation telemetry (filled by run_churn_round;
+    // --- zeros/false on pristine runs) ---
+    std::size_t down = 0;  ///< nodes down when the round ended
+    /// Cumulative liveness-gate suppressions (see DetectorConfig).
+    std::uint64_t suppressed = 0;
+    /// Cumulative kIntruder verdicts against crashed-but-honest bystanders.
+    std::uint64_t false_convictions = 0;
+    /// Up-aware control-plane convergence at round end.
+    bool converged = false;
   };
 
   explicit TrustExperiment(Config config);
@@ -57,6 +85,14 @@ class TrustExperiment {
 
   /// One investigation round (the attack stays active).
   RoundSnapshot run_round();
+
+  /// One faulted round: the regular attacker investigation plus a
+  /// false-conviction probe of the lowest-id down bystander (a crashed,
+  /// honest node whose links have gone stale — exactly the node a naive
+  /// detector convicts). Fills the degradation fields of the snapshot and
+  /// feeds every report through the invariant checker. Falls back to
+  /// run_round semantics when no fault plan is configured.
+  RoundSnapshot run_churn_round();
 
   /// One idle round: the attack has ceased, no investigation happens, and
   /// the forgetting factor relaxes every trust value toward the default
@@ -79,15 +115,59 @@ class TrustExperiment {
   Network& network() { return *network_; }
   core::Detector& detector() { return *detector_; }
 
+  // --- fault injection & checkpointing ---
+  bool faulted() const { return !config_.fault_plan.empty(); }
+  /// The injector driving the configured fault plan (null when pristine).
+  faults::FaultInjector* injector() { return injector_.get(); }
+  /// Safety-rule oracle fed by run_churn_round (null when pristine).
+  const faults::InvariantChecker* invariants() const {
+    return invariants_.get();
+  }
+
+  /// Serializes the complete run state at a round boundary (versioned
+  /// binary format, see faults/checkpoint.hpp). Requires checkpointable
+  /// mode and no outstanding investigations; restore_checkpoint on the
+  /// bytes continues the run byte-identically to never having stopped.
+  std::vector<std::uint8_t> save_checkpoint();
+
+  /// Rebuilds an experiment from a snapshot: constructs the object graph
+  /// from `config` (which must match the saving run's), overwrites every
+  /// component's state from the snapshot, and re-arms all pending events
+  /// sorted by (time, original seq) so the event queue replays the
+  /// uninterrupted run's tie-breaks. Throws faults::CheckpointError on
+  /// magic/version/config mismatch or corruption.
+  static std::unique_ptr<TrustExperiment> restore_checkpoint(
+      Config config, const std::vector<std::uint8_t>& bytes);
+
  private:
+  /// Everything in setup() up to (not including) start_all: network,
+  /// hooks, liar selection, detector, injector, invariant checker. No
+  /// timers armed, no draws from the network's RNG — shared by setup()
+  /// and the restore path.
+  void build_network();
+  /// Daemon lifecycle callbacks handed to the injector (stop / start /
+  /// reset_tables+start, each in the node's engine context).
+  faults::FaultInjector::NodeOps node_ops();
+  /// run_for, plus fault stepping at 250 ms boundaries under the sharded
+  /// engine (see Config::fault_plan).
+  void drive(sim::Duration d);
+  void apply_restored(const std::vector<std::uint8_t>& bytes);
+  /// One investigation of (suspect, subject) against `verifiers`; drives
+  /// the sim until the report lands and returns it.
+  core::DetectionReport run_investigation(NodeId suspect, NodeId subject,
+                                          const std::vector<NodeId>& verifiers);
+
   Config config_;
   std::unique_ptr<Network> network_;
   core::Detector* detector_ = nullptr;
   attacks::LinkSpoofingAttack* spoof_ = nullptr;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  std::unique_ptr<faults::InvariantChecker> invariants_;
   NodeId phantom_;
   std::vector<NodeId> liars_;
   std::vector<NodeId> honest_;
   int round_counter_ = 0;
+  std::uint64_t false_convictions_ = 0;
 };
 
 }  // namespace manet::scenario

@@ -22,6 +22,11 @@ class EventId {
   constexpr bool valid() const { return id_ != 0; }
   constexpr auto operator<=>(const EventId&) const = default;
 
+  /// Underlying insertion sequence number (0 = invalid). Exposed for the
+  /// checkpoint machinery, which sorts pending work by original
+  /// (time, sequence) to re-arm it in the exact pre-snapshot order.
+  constexpr std::uint64_t raw() const { return id_; }
+
  private:
   friend class EventQueue;
   friend class ::manet::psim::ShardSim;

@@ -89,6 +89,30 @@ class Rng {
   /// Derives an independent child stream (for per-node randomness).
   Rng fork() { return Rng{next_u64()}; }
 
+  /// Serializable stream cursor: the xoshiro256** state words plus the
+  /// Box-Muller spare. The uniform_int span/limit memo is deliberately
+  /// excluded — it is a pure function of the span that is recomputed on
+  /// the first post-restore draw, so dropping it cannot change the draw
+  /// sequence (see the uniform_int contract above).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_normal = false;
+    double cached_normal = 0.0;
+  };
+
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, has_cached_normal_,
+                 cached_normal_};
+  }
+
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    has_cached_normal_ = st.has_cached_normal;
+    cached_normal_ = st.cached_normal;
+    cached_span_ = 0;
+    cached_limit_ = 0;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

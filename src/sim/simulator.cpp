@@ -35,6 +35,13 @@ void Simulator::run_all() {
   }
 }
 
+void Simulator::restore_now(Time at) {
+  if (!queue_.empty())
+    throw std::logic_error{"restore_now with pending events"};
+  if (at < now_) throw std::invalid_argument{"restore_now into the past"};
+  now_ = at;
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   now_ = queue_.next_time();

@@ -44,6 +44,12 @@ class Simulator final : public Engine {
   std::size_t pending_events() const { return queue_.pending(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Checkpoint restore: jump the clock to the snapshot time before the
+  /// pending-event inventory is re-armed. Only legal while the queue is
+  /// empty (a restore starts from a freshly constructed Simulator) and the
+  /// clock may never move backwards past already-executed events.
+  void restore_now(Time at);
+
  private:
   Time now_;
   EventQueue queue_;

@@ -34,12 +34,23 @@ void PeriodicTimer::schedule_next() {
     const auto sub = sim_.rng().uniform_int(0, jitter_.us());
     delay = Duration::from_us(period_.us() - sub);
   }
-  pending_ = sim_.schedule(delay, [this] {
+  arm_at(sim_.now() + delay);
+}
+
+void PeriodicTimer::resume_at(Time at) {
+  if (running_) throw std::logic_error{"resume_at on a running timer"};
+  running_ = true;
+  arm_at(at);
+}
+
+void PeriodicTimer::arm_at(Time at) {
+  next_fire_ = at;
+  pending_ = sim_.schedule_at(at, [this] {
     if (!running_) return;
     schedule_next();
     on_fire_();
   });
-  if (on_schedule_) on_schedule_(sim_.now() + delay);
+  if (on_schedule_) on_schedule_(at);
 }
 
 void OneShotTimer::arm(Duration delay, std::function<void()> on_fire) {

@@ -40,8 +40,22 @@ class PeriodicTimer {
   void set_period(Duration period) { period_ = period; }
   Duration period() const { return period_; }
 
+  /// Absolute time of the currently pending firing (meaningful only while
+  /// running). Checkpoints record this so a restore can re-arm at exactly
+  /// the pre-snapshot moment.
+  Time next_fire() const { return next_fire_; }
+
+  /// Insertion sequence of the pending event — the checkpoint sort key.
+  std::uint64_t pending_seq() const { return pending_.raw(); }
+
+  /// Checkpoint restore: arms the timer at the absolute time a snapshot
+  /// recorded WITHOUT drawing jitter — that draw already happened when the
+  /// original arming ran. Subsequent rearms draw normally again.
+  void resume_at(Time at);
+
  private:
   void schedule_next();
+  void arm_at(Time at);
 
   Engine& sim_;
   Duration period_;
@@ -49,6 +63,7 @@ class PeriodicTimer {
   std::function<void()> on_fire_;
   std::function<void(Time)> on_schedule_;
   EventId pending_{};
+  Time next_fire_{};
   bool running_ = false;
 };
 

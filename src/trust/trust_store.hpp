@@ -76,14 +76,30 @@ class TrustStore {
   /// All subjects with explicit state (tests and figure benches).
   std::vector<NodeId> subjects() const;
 
- private:
-  TrustParams params_;
-  std::vector<std::pair<NodeId, double>> trust_;  // sorted by subject
+  /// One persisted interaction counter (sorted by subject in storage).
   struct Counter {
     NodeId subject;
     int positive = 0;
     int total = 0;
   };
+
+  /// Checkpoint surface: both slabs verbatim (params are reproduced from
+  /// the experiment config, not persisted).
+  const std::vector<std::pair<NodeId, double>>& trust_rows() const {
+    return trust_;
+  }
+  const std::vector<Counter>& interaction_rows() const {
+    return interactions_;
+  }
+  void restore(std::vector<std::pair<NodeId, double>> trust,
+               std::vector<Counter> interactions) {
+    trust_ = std::move(trust);
+    interactions_ = std::move(interactions);
+  }
+
+ private:
+  TrustParams params_;
+  std::vector<std::pair<NodeId, double>> trust_;  // sorted by subject
   std::vector<Counter> interactions_;  // sorted by subject
 };
 

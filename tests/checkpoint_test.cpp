@@ -1,0 +1,279 @@
+// Checkpoint/restore of the full experiment state: the writer/reader
+// primitives, the error paths of the versioned binary format, and the
+// headline contract — save at a round boundary, restore into a fresh
+// process image, continue, and every subsequent round is byte-identical
+// to the run that never stopped. Exercised at early, middle and final
+// save points, both pristine and mid-fault-plan.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "faults/checkpoint.hpp"
+#include "faults/fault_plan.hpp"
+#include "scenario/trust_experiment.hpp"
+
+namespace manet {
+namespace {
+
+using faults::CheckpointError;
+using faults::CheckpointReader;
+using faults::CheckpointWriter;
+using scenario::TrustExperiment;
+
+// --- writer/reader primitives --------------------------------------------
+
+TEST(CheckpointWire, PrimitivesRoundTrip) {
+  CheckpointWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(-0.125);
+  w.boolean(true);
+  w.time(sim::Time::from_ms(1250));
+  w.node(net::NodeId{7});
+  w.count(3);
+  w.str("hello");
+  // blob() is written as count + raw bytes (the writer half is raw so
+  // containers can prefix their own element counts); the reader half is
+  // length-prefixed.
+  const std::vector<std::uint8_t> blob{9, 8, 7};
+  w.count(blob.size());
+  w.blob(blob.data(), blob.size());
+
+  const auto bytes = w.take();
+  CheckpointReader r{bytes};
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), -0.125);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.time().us(), sim::Time::from_ms(1250).us());
+  EXPECT_EQ(r.node(), net::NodeId{7});
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.blob(), blob);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(CheckpointWire, TruncationThrowsInsteadOfReadingPastTheEnd) {
+  CheckpointWriter w;
+  w.u32(123);
+  auto bytes = w.take();
+  bytes.pop_back();
+  CheckpointReader r{bytes};
+  EXPECT_THROW(r.u32(), CheckpointError);
+}
+
+TEST(CheckpointWire, CountIsBoundedByRemainingBytes) {
+  // A corrupt length prefix larger than the remaining payload must throw
+  // at the count read, not allocate or scan gigabytes.
+  CheckpointWriter w;
+  w.count(1u << 30);
+  const auto bytes = w.take();
+  CheckpointReader r{bytes};
+  EXPECT_THROW(r.count(), CheckpointError);
+}
+
+// --- full save/restore round trip ----------------------------------------
+
+TrustExperiment::Config checkpoint_config(bool faulted) {
+  TrustExperiment::Config c;
+  c.seed = 29;
+  c.num_nodes = 16;
+  c.num_liars = 4;
+  c.checkpointable = true;
+  if (faulted) {
+    // The plan straddles every save point: node 6 is down across the
+    // mid-run checkpoint, so the snapshot must carry a mid-fault world
+    // (down host, injector timeline, liveness-gated detector).
+    c.fault_plan = faults::FaultPlan::parse(
+        "20000 crash n6\n"
+        "24000 brownout 0 0 120 120 0.6\n"
+        "31000 brownout_clear 0 0 120 120\n"
+        "35000 restart n6\n");
+  }
+  return c;
+}
+
+/// Full-precision fingerprint of one round: every field that reaches any
+/// CSV, so "fingerprints equal" == "per-round output byte-identical".
+std::string fingerprint(const TrustExperiment::RoundSnapshot& s) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "r%d at=%lld d=%.17g m=%.17g v=%d %zu/%llu/%llu/%d",
+                s.round, static_cast<long long>(s.at.us()), s.detect, s.margin,
+                static_cast<int>(s.verdict), s.down,
+                static_cast<unsigned long long>(s.suppressed),
+                static_cast<unsigned long long>(s.false_convictions),
+                static_cast<int>(s.converged));
+  std::string out = buf;
+  for (const auto& [id, t] : s.trust) {
+    std::snprintf(buf, sizeof(buf), " %s=%.17g", id.to_string().c_str(), t);
+    out += buf;
+  }
+  return out;
+}
+
+void expect_round_trip_at(int save_round, bool faulted) {
+  const int total_rounds = 6;
+  const auto config = checkpoint_config(faulted);
+  auto run_round = [faulted](TrustExperiment& e) {
+    return faulted ? e.run_churn_round() : e.run_round();
+  };
+
+  // The reference run never stops.
+  TrustExperiment reference{config};
+  reference.setup();
+  std::vector<std::string> expected;
+  for (int r = 0; r < total_rounds; ++r) {
+    const auto snap = run_round(reference);
+    if (r >= save_round) expected.push_back(fingerprint(snap));
+  }
+
+  // The checkpointed run saves at `save_round`, restores into a fresh
+  // object graph, and continues.
+  TrustExperiment original{config};
+  original.setup();
+  for (int r = 0; r < save_round; ++r) run_round(original);
+  const auto bytes = original.save_checkpoint();
+  ASSERT_FALSE(bytes.empty());
+
+  const auto restored = TrustExperiment::restore_checkpoint(config, bytes);
+  std::vector<std::string> actual;
+  for (int r = save_round; r < total_rounds; ++r)
+    actual.push_back(fingerprint(run_round(*restored)));
+
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i)
+    EXPECT_EQ(actual[i], expected[i]) << "post-restore round " << i;
+}
+
+class CheckpointRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CheckpointRoundTrip, PristineRunContinuesByteIdentically) {
+  expect_round_trip_at(GetParam(), /*faulted=*/false);
+}
+
+TEST_P(CheckpointRoundTrip, FaultedRunContinuesByteIdentically) {
+  expect_round_trip_at(GetParam(), /*faulted=*/true);
+}
+
+// Save points: after the first round, mid-run (mid-fault-plan for the
+// faulted variant), and after the last round.
+INSTANTIATE_TEST_SUITE_P(SavePoints, CheckpointRoundTrip,
+                         ::testing::Values(1, 3, 6));
+
+// A restored experiment is itself checkpointable again (checkpoint of a
+// checkpoint), and the chain still matches the uninterrupted run.
+TEST(Checkpoint, ChainedCheckpointsStillMatch) {
+  const auto config = checkpoint_config(/*faulted=*/true);
+
+  TrustExperiment reference{config};
+  reference.setup();
+  std::string expected;
+  for (int r = 0; r < 5; ++r) expected = fingerprint(reference.run_churn_round());
+
+  TrustExperiment first{config};
+  first.setup();
+  first.run_churn_round();
+  const auto bytes1 = first.save_checkpoint();
+  auto second = TrustExperiment::restore_checkpoint(config, bytes1);
+  second->run_churn_round();
+  second->run_churn_round();
+  const auto bytes2 = second->save_checkpoint();
+  auto third = TrustExperiment::restore_checkpoint(config, bytes2);
+  std::string actual;
+  for (int r = 3; r < 5; ++r) actual = fingerprint(third->run_churn_round());
+
+  EXPECT_EQ(actual, expected);
+}
+
+// --- preconditions and error paths ---------------------------------------
+
+TEST(Checkpoint, SaveRequiresCheckpointableMode) {
+  auto config = checkpoint_config(false);
+  config.checkpointable = false;
+  TrustExperiment exp{config};
+  exp.setup();
+  EXPECT_THROW(exp.save_checkpoint(), std::logic_error);
+}
+
+TEST(Checkpoint, RestoreRejectsCorruptMagic) {
+  const auto config = checkpoint_config(false);
+  TrustExperiment exp{config};
+  exp.setup();
+  exp.run_round();
+  auto bytes = exp.save_checkpoint();
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(TrustExperiment::restore_checkpoint(config, bytes),
+               CheckpointError);
+}
+
+TEST(Checkpoint, RestoreRejectsFutureVersion) {
+  const auto config = checkpoint_config(false);
+  TrustExperiment exp{config};
+  exp.setup();
+  exp.run_round();
+  auto bytes = exp.save_checkpoint();
+  bytes[4] += 1;  // version field, little-endian low byte
+  EXPECT_THROW(TrustExperiment::restore_checkpoint(config, bytes),
+               CheckpointError);
+}
+
+TEST(Checkpoint, RestoreRejectsConfigMismatch) {
+  const auto config = checkpoint_config(false);
+  TrustExperiment exp{config};
+  exp.setup();
+  exp.run_round();
+  const auto bytes = exp.save_checkpoint();
+
+  auto wrong_nodes = config;
+  wrong_nodes.num_nodes = 12;
+  EXPECT_THROW(TrustExperiment::restore_checkpoint(wrong_nodes, bytes),
+               CheckpointError);
+
+  auto wrong_seed = config;
+  wrong_seed.seed = 30;
+  EXPECT_THROW(TrustExperiment::restore_checkpoint(wrong_seed, bytes),
+               CheckpointError);
+
+  // A pristine config cannot restore a faulted snapshot (injector
+  // presence mismatch) and vice versa.
+  auto faulted_cfg = checkpoint_config(true);
+  TrustExperiment faulted_exp{faulted_cfg};
+  faulted_exp.setup();
+  faulted_exp.run_churn_round();
+  const auto faulted_bytes = faulted_exp.save_checkpoint();
+  auto pristine_cfg = checkpoint_config(false);
+  pristine_cfg.seed = faulted_cfg.seed;
+  EXPECT_THROW(TrustExperiment::restore_checkpoint(pristine_cfg, faulted_bytes),
+               CheckpointError);
+}
+
+TEST(Checkpoint, RestoreRejectsTruncationAndTrailingGarbage) {
+  const auto config = checkpoint_config(false);
+  TrustExperiment exp{config};
+  exp.setup();
+  exp.run_round();
+  auto bytes = exp.save_checkpoint();
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(TrustExperiment::restore_checkpoint(config, truncated),
+               CheckpointError);
+
+  auto padded = bytes;
+  padded.push_back(0);
+  EXPECT_THROW(TrustExperiment::restore_checkpoint(config, padded),
+               CheckpointError);
+}
+
+}  // namespace
+}  // namespace manet

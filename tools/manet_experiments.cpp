@@ -11,6 +11,7 @@
 //   manet_experiments --nodes 16,24 --liar-fractions 0,0.25 --seeds 8
 //       --format json --out sweep.json
 //   manet_experiments --sweep fig3 --per-round --out fig3.csv
+//   manet_experiments --sweep chaos --seeds 8 --degradation --out chaos.csv
 
 #include <cctype>
 #include <cerrno>
@@ -18,9 +19,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
 #include "runtime/aggregator.hpp"
 #include "runtime/runner.hpp"
 
@@ -46,6 +50,15 @@ presets (override the grid; --seeds still applies)
                         (minutes per replication -- use --threads 0 on a real host)
   --sweep scale-1024    1024 nodes, fraction 0.25, 3 rounds (a long-haul run:
                         tens of minutes per replication, meant for multicore hosts)
+  --sweep chaos         graceful-degradation run: 16 nodes, fraction 0.25,
+                        12 rounds, per-seed chaos fault plans (node churn,
+                        brown-out, netsplit); pair with --degradation
+
+fault injection
+  --faults chaos|FILE   chaos = derive a seeded fault plan per replication;
+                        FILE = one explicit plan (FaultPlan text form) shared
+                        by every replication. Faulted runs audit the safety
+                        invariants and exit 3 if any violation is recorded.
 
 execution / output
   --engine NAME         discrete-event engine per replication (default sequential):
@@ -60,6 +73,8 @@ execution / output
   --confidence L        CI level for the aggregates (default 0.95)
   --format csv|json     aggregate output format (default csv)
   --per-round           emit the per-round Eq. 8 trajectory CSV instead
+  --degradation         emit the per-round graceful-degradation CSV instead
+                        (down/false-conviction/suppression/convergence means)
   --out FILE            write output to FILE instead of stdout
   --quiet               suppress progress on stderr
   --help                this text
@@ -142,6 +157,7 @@ int main(int argc, char** argv) {
   std::string format = "csv";
   std::string out_path;
   bool per_round = false;
+  bool degradation = false;
   bool quiet = false;
 
   auto need_value = [&](int i) -> const char* {
@@ -196,9 +212,38 @@ int main(int argc, char** argv) {
         spec.node_counts = {1024};
         spec.attacker_fractions = {0.25};
         spec.rounds = 3;
+      } else if (sweep == "chaos") {
+        spec.node_counts = {16};
+        spec.attacker_fractions = {0.25};
+        spec.rounds = 12;
+        spec.chaos = true;
+        spec.fault_plan = {};
       } else {
         std::fprintf(stderr, "error: unknown sweep '%s'\n", sweep.c_str());
         return 2;
+      }
+    } else if (arg == "--faults") {
+      const std::string value = need_value(i++);
+      if (value == "chaos") {
+        spec.chaos = true;
+        spec.fault_plan = {};
+      } else {
+        std::ifstream in{value};
+        if (!in) {
+          std::fprintf(stderr, "error: cannot read fault plan '%s'\n",
+                       value.c_str());
+          return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+          spec.fault_plan = faults::FaultPlan::parse(text.str());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: bad fault plan '%s': %s\n",
+                       value.c_str(), e.what());
+          return 2;
+        }
+        spec.chaos = false;
       }
     } else if (arg == "--engine") {
       const std::string engine = need_value(i++);
@@ -225,6 +270,8 @@ int main(int argc, char** argv) {
       ok = format == "csv" || format == "json";
     } else if (arg == "--per-round") {
       per_round = true;
+    } else if (arg == "--degradation") {
+      degradation = true;
     } else if (arg == "--out") {
       out_path = need_value(i++);
     } else if (arg == "--quiet") {
@@ -241,6 +288,13 @@ int main(int argc, char** argv) {
   }
 
   spec.seeds = runtime::ExperimentSpec::seed_range(seed_base, num_seeds);
+
+  if (degradation && !spec.chaos && spec.fault_plan.empty()) {
+    std::fprintf(stderr,
+                 "error: --degradation needs a faulted run "
+                 "(--faults or --sweep chaos)\n");
+    return 2;
+  }
 
   runtime::Runner::Config rc;
   rc.threads = threads;
@@ -272,7 +326,10 @@ int main(int argc, char** argv) {
 
   runtime::Aggregator aggregator{confidence};
   std::string output;
-  if (per_round) {
+  if (degradation) {
+    output =
+        runtime::Aggregator::degradation_csv(aggregator.degradation(results));
+  } else if (per_round) {
     output = runtime::Aggregator::per_round_csv(aggregator.per_round(results));
   } else {
     const auto rows = aggregator.aggregate(results);
@@ -295,5 +352,17 @@ int main(int argc, char** argv) {
   if (!quiet)
     std::fprintf(stderr, "done: %zu replications in %.2f s (%.1f repl/s)\n",
                  total, wall, wall > 0 ? static_cast<double>(total) / wall : 0.0);
+
+  // Faulted runs double as safety audits: any invariant violation (a down
+  // node convicted, a route naming a dead or partitioned next hop, trust
+  // out of bounds) fails the invocation so chaos smoke jobs catch it.
+  std::uint64_t violations = 0;
+  for (const auto& r : results) violations += r.invariant_violations;
+  if (violations > 0) {
+    std::fprintf(stderr,
+                 "error: %llu invariant violation(s) during faulted run\n",
+                 static_cast<unsigned long long>(violations));
+    return 3;
+  }
   return 0;
 }
