@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/investigation.hpp"
+#include "logging/audit_log.hpp"
+#include "logging/record.hpp"
+#include "sim/time.hpp"
+
+namespace manet::core {
+
+/// Evidence taxonomy of §III-B.
+enum class EvidenceTag {
+  kE1MprReplaced,
+  kE2MprMisbehaving,
+  kE3SoleProvider,
+  kE4NotCoveringNeighbor,
+  kE5AdvertisesNonNeighbor,
+  kSignatureMatch,
+  /// §III-B: triggers "not necessarily event-driven... handled by launching
+  /// periodical/random checks" — the per-scan MPR audit.
+  kPeriodicCheck,
+};
+
+std::string to_string(EvidenceTag tag);
+
+/// One completed investigation round as it enters the detection pipeline:
+/// everything the Eq. 8-10 evidence evaluation consumes that the network
+/// produced. `own_observation` is the investigator's first-hand answer to
+/// its own query at decision time (Property 5 privileges it over
+/// second-hand evidence); it is captured by the producer because it reads
+/// live protocol state that an offline replay no longer has.
+struct AuditRound {
+  LinkQuery query;
+  double own_observation = 0.0;
+  std::vector<RoundAnswer> answers;
+  std::size_t timeouts = 0;
+  std::vector<EvidenceTag> tags;
+};
+
+/// One record of the abstract audit-event stream the detection pipeline
+/// consumes (tentpole seam of the offline/online split):
+///  - kLine  — one audit-log line of the observed node's routing daemon
+///             (feeds the liveness oracle of the conviction gate),
+///  - kRound — one completed investigation round (feeds the Eq. 8-10
+///             evidence evaluation and the trust updates),
+///  - kDecay — one idle-slot forgetting sweep (Fig. 2 semantics).
+/// The in-sim detector is one producer of this stream; a recorded binary
+/// audit log replayed by tools/manet_detect is another.
+struct AuditEvent {
+  logging::AuditFrame kind = logging::AuditFrame::kLine;
+  sim::Time time;
+  logging::LogRecord line;  ///< kLine payload
+  AuditRound round;         ///< kRound payload
+};
+
+}  // namespace manet::core

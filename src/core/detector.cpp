@@ -8,24 +8,15 @@
 
 namespace manet::core {
 
-std::string to_string(EvidenceTag tag) {
-  switch (tag) {
-    case EvidenceTag::kE1MprReplaced:
-      return "E1";
-    case EvidenceTag::kE2MprMisbehaving:
-      return "E2";
-    case EvidenceTag::kE3SoleProvider:
-      return "E3";
-    case EvidenceTag::kE4NotCoveringNeighbor:
-      return "E4";
-    case EvidenceTag::kE5AdvertisesNonNeighbor:
-      return "E5";
-    case EvidenceTag::kSignatureMatch:
-      return "SIG";
-    case EvidenceTag::kPeriodicCheck:
-      return "PERIODIC";
-  }
-  return "?";
+PipelineConfig pipeline_config(NodeId self, const DetectorConfig& config) {
+  PipelineConfig p;
+  p.self = self;
+  p.trust_params = config.trust_params;
+  p.decision = config.decision;
+  p.trust_update_min_detect = config.trust_update_min_detect;
+  p.liveness_window = config.liveness_window;
+  p.decay_unresponsive = config.decay_unresponsive;
+  return p;
 }
 
 Detector::Detector(sim::Engine& sim, olsr::Agent& agent,
@@ -33,7 +24,7 @@ Detector::Detector(sim::Engine& sim, olsr::Agent& agent,
     : sim_{sim},
       agent_{agent},
       config_{config},
-      trust_{config.trust_params},
+      pipeline_{pipeline_config(agent.id(), config)},
       investigations_{investigations},
       scan_timer_{sim, config.scan_interval, sim::Duration::from_ms(100),
                   [this] { scan_once(); }} {
@@ -58,19 +49,20 @@ void Detector::stop() {
   scan_timer_.stop();
 }
 
-sim::Time Detector::last_heard_of(NodeId node) const {
-  // Newest-first sweep over the audit log: the first reception from `node`
-  // (HELLO heard directly, or a TC it relayed to us) is the answer.
+void Detector::feed_log_growth() {
   const auto& log = agent_.log();
-  for (std::size_t i = log.size(); i-- > 0;) {
-    const auto& rec = log.at(i);
-    if (rec.event == "hello_recv") {
-      if (rec.node_field("from") == node) return rec.time;
-    } else if (rec.event == "tc_recv") {
-      if (rec.node_field("via") == node) return rec.time;
-    }
-  }
-  return sim::Time{};
+  // Retention may have dropped records past the cursor; they are gone for
+  // the live pipeline exactly as they were for the old full-log rescan.
+  std::uint64_t next = std::max(next_feed_, log.base_index());
+  for (; next < log.total_appended(); ++next)
+    pipeline_.consume_line(
+        log.at(static_cast<std::size_t>(next - log.base_index())));
+  next_feed_ = next;
+}
+
+sim::Time Detector::last_heard_of(NodeId node) {
+  feed_log_growth();
+  return pipeline_.last_heard_of(node);
 }
 
 Detector::Persisted Detector::persist() const {
@@ -82,8 +74,9 @@ Detector::Persisted Detector::persist() const {
   p.pending_tcs.assign(pending_tcs_.begin(), pending_tcs_.end());
   p.last_investigated.assign(last_investigated_.begin(),
                              last_investigated_.end());
-  p.answer_pool.assign(answer_pool_.begin(), answer_pool_.end());
-  p.degradation = degradation_;
+  const auto& pool = pipeline_.answer_pool();
+  p.answer_pool.assign(pool.begin(), pool.end());
+  p.degradation = pipeline_.degradation();
   return p;
 }
 
@@ -95,9 +88,13 @@ void Detector::restore(Persisted p) {
   last_investigated_.clear();
   last_investigated_.insert(p.last_investigated.begin(),
                             p.last_investigated.end());
-  answer_pool_.clear();
-  answer_pool_.insert(p.answer_pool.begin(), p.answer_pool.end());
-  degradation_ = p.degradation;
+  DetectionPipeline::AnswerPool pool;
+  pool.insert(p.answer_pool.begin(), p.answer_pool.end());
+  pipeline_.restore(std::move(pool), p.degradation);
+  // Rebuild the pipeline's liveness oracle from the restored log's retained
+  // window — the same records the pre-checkpoint newest-first scan saw.
+  next_feed_ = agent_.log().base_index();
+  feed_log_growth();
 }
 
 bool Detector::in_cooldown(NodeId suspect, NodeId subject) const {
@@ -130,7 +127,10 @@ std::vector<NodeId> Detector::believed_neighbors_of(NodeId suspect) const {
 }
 
 std::size_t Detector::scan_once() {
-  // The IDS reads the daemon's log as *text*, like a real log analyzer.
+  // The new log growth reaches the pipeline first (kLine events keep its
+  // liveness oracle exactly as fresh as the log), then the IDS reads the
+  // same growth as *text*, like a real log analyzer.
+  feed_log_growth();
   const auto text = agent_.log().text_since(last_scan_);
   last_scan_ = sim_.now();
   auto records = logging::parse_log(text);
@@ -330,139 +330,18 @@ void Detector::investigate_claim(NodeId suspect, NodeId subject,
 
 void Detector::on_round_complete(const RoundResult& result,
                                  std::vector<EvidenceTag> tags) {
-  // First-hand evidence of the investigator itself enters the aggregate at
-  // full trust (Property 5: first-hand evidence is privileged over
-  // second-hand). Without it, a colluding majority could freeze the
-  // detection at a neutral aggregate.
-  const double own_obs = investigations_.honest_observation(result.query);
-  const double claim = result.query.claimed_up ? +1.0 : -1.0;
-  const double own_evidence =
-      own_obs == 0.0 ? 0.0 : (own_obs == claim ? +1.0 : -1.0);
-
-  // Eq. 8 over this round's answers, weighted by current trust.
-  // Timeouts keep their paper-mandated e=0 (they discount the aggregate);
-  // explicit abstentions ("cannot tell") carry no opinion and are dropped.
-  auto usable = [](const RoundAnswer& a) {
-    return !(a.answered && a.evidence == 0.0);
-  };
-  std::vector<trust::WeightedAnswer> round_weighted;
-  round_weighted.reserve(result.answers.size() + 1);
-  if (own_evidence != 0.0)
-    round_weighted.push_back(
-        trust::WeightedAnswer{agent_.id(), 1.0, own_evidence});
-  for (const auto& a : result.answers) {
-    if (!usable(a)) continue;
-    round_weighted.push_back(trust::WeightedAnswer{
-        a.responder, trust_.trust(a.responder), a.evidence});
-  }
-  const double round_detect = trust::aggregate_detection(round_weighted);
-
-  // Accumulate into the per-link pool and decide over the whole pool
-  // (§IV-C: an unrecognized outcome demands more evidence; successive
-  // rounds shrink the Eq. 9 margin as n grows).
-  auto& pool = answer_pool_[{result.query.suspect, result.query.subject}];
-  if (own_evidence != 0.0)
-    pool.push_back(PooledAnswer{agent_.id(), own_evidence, true});
-  for (const auto& a : result.answers)
-    if (usable(a)) pool.push_back(PooledAnswer{a.responder, a.evidence,
-                                               a.answered});
-  constexpr std::size_t kMaxPool = 500;
-  if (pool.size() > kMaxPool)
-    pool.erase(pool.begin(),
-               pool.begin() + static_cast<std::ptrdiff_t>(pool.size() - kMaxPool));
-
-  std::vector<trust::WeightedAnswer> pooled;
-  pooled.reserve(pool.size());
-  for (const auto& p : pool) {
-    const double w =
-        p.responder == agent_.id() ? 1.0 : trust_.trust(p.responder);
-    pooled.push_back(trust::WeightedAnswer{p.responder, w, p.evidence});
-  }
-  const auto decision = trust::decide(pooled, config_.decision);
-
-  // Liveness gate (faulted runs): convicting a node our own log has not
-  // heard from recently would brand a crashed bystander a liar — its
-  // silence during the investigation is exactly what a guilty verdict
-  // feeds on. Downgrade to kUnrecognized and count the suppression; the
-  // pooled evidence stays, so a live-again suspect can still be convicted.
-  trust::Verdict verdict = decision.verdict;
-  bool suppressed = false;
-  if (verdict == trust::Verdict::kIntruder &&
-      config_.liveness_window > sim::Duration{}) {
-    const sim::Time heard = last_heard_of(result.query.suspect);
-    if (heard == sim::Time{} ||
-        sim_.now() - heard > config_.liveness_window) {
-      verdict = trust::Verdict::kUnrecognized;
-      suppressed = true;
-      ++degradation_.suppressed_convictions;
-    }
-  }
-
-  DetectionReport report;
-  report.time = sim_.now();
-  report.suspect = result.query.suspect;
-  report.subject = result.query.subject;
-  report.claimed_up = result.query.claimed_up;
-  report.verdict = verdict;
-  report.detect = round_detect;
-  report.cumulative_detect = decision.detect;
-  report.interval = decision.interval;
-  report.tags = std::move(tags);
-  report.answers = result.answers.size();
-  report.timeouts = result.timeouts;
-  report.cumulative_answers = pool.size();
-  report.suppressed = suppressed;
-
-  // Confirmed verdicts add the E4/E5 evidence of Expression 4.
-  if (verdict == trust::Verdict::kIntruder) {
-    report.tags.push_back(result.query.claimed_up
-                              ? EvidenceTag::kE5AdvertisesNonNeighbor
-                              : EvidenceTag::kE4NotCoveringNeighbor);
-  }
-
-  // Update trust (§IV-B: "this result is used to update the trust related
-  // to I and S1..Sm"). The per-round aggregate — not the gated verdict —
-  // drives the update: even while the decision is still "unrecognized"
-  // (wide confidence interval), responders leaning with the weighted
-  // majority gain a little and those contradicting it are treated as lying
-  // with gravity weighting. This is what lets liar trust fade round after
-  // round in the paper's Figure 1/3 dynamics.
-  if (std::abs(round_detect) >= config_.trust_update_min_detect) {
-    const double correct_sign = round_detect < 0.0 ? -1.0 : +1.0;
-    for (const auto& a : result.answers) {
-      if (!a.answered || a.evidence == 0.0) continue;
-      const bool agrees = a.evidence * correct_sign > 0.0;
-      trust_.record_interaction(a.responder, agrees);
-      if (agrees) {
-        trust_.apply_evidence(
-            a.responder,
-            trust::honest_answer_evidence(trust_.params().reward_honest));
-      } else {
-        trust_.apply_evidence(a.responder,
-                              trust::lie_evidence(trust_.params().gravity_lie));
-      }
-    }
-  }
-  // Unresponsive verifiers under the fault-tolerant policy: relax their
-  // trust toward the default instead of freezing it at its pre-crash value.
-  if (config_.decay_unresponsive) {
-    for (const auto& a : result.answers)
-      if (!a.answered) trust_.decay_idle(a.responder);
-  }
-  // The suspect's own trust only moves on a *confirmed* verdict.
-  if (verdict == trust::Verdict::kIntruder) {
-    trust_.apply_evidence(
-        result.query.suspect,
-        trust::intrusion_evidence(trust_.params().gravity_lie));
-  } else if (verdict == trust::Verdict::kWellBehaving) {
-    trust_.apply_evidence(
-        result.query.suspect,
-        trust::honest_answer_evidence(trust_.params().reward_honest));
-  }
-
-  reports_.push_back(report);
-  if (reports_.size() > 10'000) reports_.pop_front();
-  if (on_report_) on_report_(report);
+  // The producer's whole job: turn the completed round into one audit-event
+  // and hand it to the pipeline. The first-hand observation is captured
+  // HERE — it reads live protocol state (the agent's link/topology view)
+  // that an offline replay no longer has, so it travels with the event.
+  feed_log_growth();
+  AuditRound round;
+  round.query = result.query;
+  round.own_observation = investigations_.honest_observation(result.query);
+  round.answers = result.answers;
+  round.timeouts = result.timeouts;
+  round.tags = std::move(tags);
+  pipeline_.consume_round(sim_.now(), round);
 }
 
 }  // namespace manet::core

@@ -7,50 +7,13 @@
 #include <vector>
 
 #include "core/investigation.hpp"
+#include "core/pipeline.hpp"
 #include "core/signature.hpp"
 #include "sim/timer.hpp"
 #include "trust/detection.hpp"
 #include "trust/trust_store.hpp"
 
 namespace manet::core {
-
-/// Evidence taxonomy of §III-B.
-enum class EvidenceTag {
-  kE1MprReplaced,
-  kE2MprMisbehaving,
-  kE3SoleProvider,
-  kE4NotCoveringNeighbor,
-  kE5AdvertisesNonNeighbor,
-  kSignatureMatch,
-  /// §III-B: triggers "not necessarily event-driven... handled by launching
-  /// periodical/random checks" — the per-scan MPR audit.
-  kPeriodicCheck,
-};
-
-std::string to_string(EvidenceTag tag);
-
-/// Outcome of one investigated claim.
-struct DetectionReport {
-  sim::Time time;
-  NodeId suspect;
-  NodeId subject;
-  bool claimed_up = true;
-  /// Verdict of Eq. 10 over the *cumulative* evidence pool for this
-  /// disputed link (§IV-C: a too-wide interval demands more evidence, so
-  /// rounds accumulate until the margin allows a decision).
-  trust::Verdict verdict = trust::Verdict::kUnrecognized;
-  double detect = 0.0;  ///< Eq. 8 aggregate of THIS round's answers
-  double cumulative_detect = 0.0;  ///< Eq. 8 over the accumulated pool
-  stats::ConfidenceInterval interval;  ///< Eq. 9 over the accumulated pool
-  std::vector<EvidenceTag> tags;
-  std::size_t answers = 0;   ///< this round
-  std::size_t timeouts = 0;  ///< this round
-  std::size_t cumulative_answers = 0;
-  /// True when the evidence said kIntruder but the liveness gate downgraded
-  /// the verdict because the suspect looks dead (see
-  /// DetectorConfig::liveness_window).
-  bool suppressed = false;
-};
 
 struct DetectorConfig {
   trust::TrustParams trust_params;
@@ -85,19 +48,22 @@ struct DetectorConfig {
   bool decay_unresponsive = false;
 };
 
-/// Graceful-degradation counters maintained by the detector under faults.
-struct DetectorDegradation {
-  /// kIntruder verdicts downgraded by the liveness gate.
-  std::uint64_t suppressed_convictions = 0;
-};
+/// The decision-side subset of a DetectorConfig — what a recorded audit
+/// log's header must reproduce for a byte-identical offline replay.
+PipelineConfig pipeline_config(NodeId self, const DetectorConfig& config);
 
 /// The paper's distributed, log- and signature-based intrusion detector,
 /// one instance per participating node. It periodically re-reads the
 /// node's audit log **as text** (never touching protocol state), matches it
 /// against the OLSR attack signatures, derives the E1-E3 triggers of
-/// Expression 4, and launches cooperative investigations whose second-hand
-/// answers are aggregated under the trust system (Eq. 8) and judged with
-/// the confidence-interval rule (Eq. 9-10).
+/// Expression 4, and launches cooperative investigations.
+///
+/// The detector is the *producer* half of the detection stack: everything
+/// downstream of a completed round — Eq. 8 aggregation, the Eq. 9-10
+/// pooled decision, liveness gating, trust updates — lives in the owned
+/// DetectionPipeline, which consumes the abstract audit-event stream this
+/// class emits (log lines + completed rounds). tools/manet_detect feeds
+/// the same pipeline from a recorded binary audit log instead.
 class Detector {
  public:
   /// `investigations` is the node's investigation endpoint (shared so that
@@ -119,13 +85,24 @@ class Detector {
                          std::vector<EvidenceTag> tags,
                          std::vector<NodeId> verifiers = {});
 
-  trust::TrustStore& trust_store() { return trust_; }
-  const trust::TrustStore& trust_store() const { return trust_; }
+  /// The consuming half of the detection stack (exposed so the experiment
+  /// harness can attach a recorder or drive idle decay through the stream).
+  DetectionPipeline& pipeline() { return pipeline_; }
+  const DetectionPipeline& pipeline() const { return pipeline_; }
+
+  trust::TrustStore& trust_store() { return pipeline_.trust_store(); }
+  const trust::TrustStore& trust_store() const {
+    return pipeline_.trust_store();
+  }
   InvestigationManager& investigations() { return investigations_; }
 
-  const std::deque<DetectionReport>& reports() const { return reports_; }
-  using ReportCallback = std::function<void(const DetectionReport&)>;
-  void set_report_callback(ReportCallback cb) { on_report_ = std::move(cb); }
+  const std::deque<DetectionReport>& reports() const {
+    return pipeline_.reports();
+  }
+  using ReportCallback = DetectionPipeline::ReportCallback;
+  void set_report_callback(ReportCallback cb) {
+    pipeline_.set_report_callback(std::move(cb));
+  }
 
   /// Nodes currently believed to be the suspect's 1-hop neighborhood,
   /// from this node's own log (advertised + advertising).
@@ -142,17 +119,16 @@ class Detector {
   /// Latest time this node's own log records a reception (HELLO or TC
   /// relay) from `node`; Time{} when the log never heard it. This is the
   /// liveness oracle of the conviction gate — log-derived like everything
-  /// else the IDS consumes.
-  sim::Time last_heard_of(NodeId node) const;
+  /// else the IDS consumes (feeds pending log growth to the pipeline
+  /// first, hence non-const).
+  sim::Time last_heard_of(NodeId node);
 
-  const DetectorDegradation& degradation() const { return degradation_; }
+  const DetectorDegradation& degradation() const {
+    return pipeline_.degradation();
+  }
 
   /// One pooled second-hand answer (public for checkpointing).
-  struct PooledAnswer {
-    NodeId responder;
-    double evidence = 0.0;
-    bool answered = false;
-  };
+  using PooledAnswer = DetectionPipeline::PooledAnswer;
   /// One TC awaiting MPR retransmission (E2 bookkeeping; public for
   /// checkpointing).
   struct SentTc {
@@ -186,11 +162,15 @@ class Detector {
                        std::size_t& launched);
   void check_forward_timeouts(std::vector<logging::LogRecord>& synthesized);
   bool in_cooldown(NodeId suspect, NodeId subject) const;
+  /// Streams agent-log records appended since the previous call into the
+  /// pipeline (kLine events). Called before every round/scan so the
+  /// pipeline's liveness oracle is as fresh as the log itself.
+  void feed_log_growth();
 
   sim::Engine& sim_;
   olsr::Agent& agent_;
   DetectorConfig config_;
-  trust::TrustStore trust_;
+  DetectionPipeline pipeline_;
   InvestigationManager& investigations_;
   SignatureMatcher matcher_;
   sim::PeriodicTimer scan_timer_;
@@ -200,13 +180,9 @@ class Detector {
   std::set<NodeId> current_mprs_;
   std::deque<SentTc> pending_tcs_;
   std::map<std::pair<NodeId, NodeId>, sim::Time> last_investigated_;
-  // Accumulated answers per disputed (suspect, subject) link. Evidence
-  // values are stored raw; weights use the *current* trust at decision
-  // time, so a liar's early answers lose influence as its trust fades.
-  std::map<std::pair<NodeId, NodeId>, std::vector<PooledAnswer>> answer_pool_;
-  std::deque<DetectionReport> reports_;
-  ReportCallback on_report_;
-  DetectorDegradation degradation_;
+  /// Absolute index of the next agent-log record to stream into the
+  /// pipeline (clamped up if retention already dropped it).
+  std::uint64_t next_feed_ = 0;
   bool running_ = false;
 };
 

@@ -1,0 +1,481 @@
+#include "core/pipeline.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace manet::core {
+
+std::string to_string(EvidenceTag tag) {
+  switch (tag) {
+    case EvidenceTag::kE1MprReplaced:
+      return "E1";
+    case EvidenceTag::kE2MprMisbehaving:
+      return "E2";
+    case EvidenceTag::kE3SoleProvider:
+      return "E3";
+    case EvidenceTag::kE4NotCoveringNeighbor:
+      return "E4";
+    case EvidenceTag::kE5AdvertisesNonNeighbor:
+      return "E5";
+    case EvidenceTag::kSignatureMatch:
+      return "SIG";
+    case EvidenceTag::kPeriodicCheck:
+      return "PERIODIC";
+  }
+  return "?";
+}
+
+DetectionPipeline::DetectionPipeline(PipelineConfig config)
+    : config_{config}, trust_{config.trust_params} {}
+
+void DetectionPipeline::consume(const AuditEvent& event) {
+  switch (event.kind) {
+    case logging::AuditFrame::kLine:
+      consume_line(event.line);
+      break;
+    case logging::AuditFrame::kRound:
+      consume_round(event.time, event.round);
+      break;
+    case logging::AuditFrame::kDecay:
+      consume_decay(event.time);
+      break;
+  }
+}
+
+void DetectionPipeline::consume_line(const logging::LogRecord& line) {
+  // Liveness oracle: lines arrive in time order, so the running maximum per
+  // peer equals a newest-first scan over the whole log.
+  if (line.event == "hello_recv") {
+    last_heard_[line.node_field("from")] = line.time;
+  } else if (line.event == "tc_recv") {
+    last_heard_[line.node_field("via")] = line.time;
+  }
+}
+
+sim::Time DetectionPipeline::last_heard_of(NodeId node) const {
+  auto it = last_heard_.find(node);
+  return it == last_heard_.end() ? sim::Time{} : it->second;
+}
+
+void DetectionPipeline::consume_decay(sim::Time time) {
+  if (recorder_) write_decay_frame(*recorder_, time);
+  trust_.decay_all_idle();
+}
+
+void DetectionPipeline::restore(AnswerPool pool,
+                                DetectorDegradation degradation) {
+  answer_pool_ = std::move(pool);
+  degradation_ = degradation;
+  last_heard_.clear();
+}
+
+void DetectionPipeline::consume_round(sim::Time time, const AuditRound& round) {
+  if (recorder_) write_round_frame(*recorder_, time, round);
+
+  // First-hand evidence of the investigator itself enters the aggregate at
+  // full trust (Property 5: first-hand evidence is privileged over
+  // second-hand). Without it, a colluding majority could freeze the
+  // detection at a neutral aggregate.
+  const double own_obs = round.own_observation;
+  const double claim = round.query.claimed_up ? +1.0 : -1.0;
+  const double own_evidence =
+      own_obs == 0.0 ? 0.0 : (own_obs == claim ? +1.0 : -1.0);
+
+  // Eq. 8 over this round's answers, weighted by current trust.
+  // Timeouts keep their paper-mandated e=0 (they discount the aggregate);
+  // explicit abstentions ("cannot tell") carry no opinion and are dropped.
+  auto usable = [](const RoundAnswer& a) {
+    return !(a.answered && a.evidence == 0.0);
+  };
+  std::vector<trust::WeightedAnswer> round_weighted;
+  round_weighted.reserve(round.answers.size() + 1);
+  if (own_evidence != 0.0)
+    round_weighted.push_back(
+        trust::WeightedAnswer{config_.self, 1.0, own_evidence});
+  for (const auto& a : round.answers) {
+    if (!usable(a)) continue;
+    round_weighted.push_back(trust::WeightedAnswer{
+        a.responder, trust_.trust(a.responder), a.evidence});
+  }
+  const double round_detect = trust::aggregate_detection(round_weighted);
+
+  // Accumulate into the per-link pool and decide over the whole pool
+  // (§IV-C: an unrecognized outcome demands more evidence; successive
+  // rounds shrink the Eq. 9 margin as n grows).
+  auto& pool = answer_pool_[{round.query.suspect, round.query.subject}];
+  if (own_evidence != 0.0)
+    pool.push_back(PooledAnswer{config_.self, own_evidence, true});
+  for (const auto& a : round.answers)
+    if (usable(a)) pool.push_back(PooledAnswer{a.responder, a.evidence,
+                                               a.answered});
+  constexpr std::size_t kMaxPool = 500;
+  if (pool.size() > kMaxPool)
+    pool.erase(pool.begin(),
+               pool.begin() + static_cast<std::ptrdiff_t>(pool.size() - kMaxPool));
+
+  std::vector<trust::WeightedAnswer> pooled;
+  pooled.reserve(pool.size());
+  for (const auto& p : pool) {
+    const double w =
+        p.responder == config_.self ? 1.0 : trust_.trust(p.responder);
+    pooled.push_back(trust::WeightedAnswer{p.responder, w, p.evidence});
+  }
+  const auto decision = trust::decide(pooled, config_.decision);
+
+  // Liveness gate (faulted runs): convicting a node the stream has not
+  // heard from recently would brand a crashed bystander a liar — its
+  // silence during the investigation is exactly what a guilty verdict
+  // feeds on. Downgrade to kUnrecognized and count the suppression; the
+  // pooled evidence stays, so a live-again suspect can still be convicted.
+  trust::Verdict verdict = decision.verdict;
+  bool suppressed = false;
+  if (verdict == trust::Verdict::kIntruder &&
+      config_.liveness_window > sim::Duration{}) {
+    const sim::Time heard = last_heard_of(round.query.suspect);
+    if (heard == sim::Time{} || time - heard > config_.liveness_window) {
+      verdict = trust::Verdict::kUnrecognized;
+      suppressed = true;
+      ++degradation_.suppressed_convictions;
+    }
+  }
+
+  DetectionReport report;
+  report.time = time;
+  report.suspect = round.query.suspect;
+  report.subject = round.query.subject;
+  report.claimed_up = round.query.claimed_up;
+  report.verdict = verdict;
+  report.detect = round_detect;
+  report.cumulative_detect = decision.detect;
+  report.interval = decision.interval;
+  report.tags = round.tags;
+  report.answers = round.answers.size();
+  report.timeouts = round.timeouts;
+  report.cumulative_answers = pool.size();
+  report.suppressed = suppressed;
+
+  // Confirmed verdicts add the E4/E5 evidence of Expression 4.
+  if (verdict == trust::Verdict::kIntruder) {
+    report.tags.push_back(round.query.claimed_up
+                              ? EvidenceTag::kE5AdvertisesNonNeighbor
+                              : EvidenceTag::kE4NotCoveringNeighbor);
+  }
+
+  // Update trust (§IV-B: "this result is used to update the trust related
+  // to I and S1..Sm"). The per-round aggregate — not the gated verdict —
+  // drives the update: even while the decision is still "unrecognized"
+  // (wide confidence interval), responders leaning with the weighted
+  // majority gain a little and those contradicting it are treated as lying
+  // with gravity weighting. This is what lets liar trust fade round after
+  // round in the paper's Figure 1/3 dynamics.
+  if (std::abs(round_detect) >= config_.trust_update_min_detect) {
+    const double correct_sign = round_detect < 0.0 ? -1.0 : +1.0;
+    for (const auto& a : round.answers) {
+      if (!a.answered || a.evidence == 0.0) continue;
+      const bool agrees = a.evidence * correct_sign > 0.0;
+      trust_.record_interaction(a.responder, agrees);
+      if (agrees) {
+        trust_.apply_evidence(
+            a.responder,
+            trust::honest_answer_evidence(trust_.params().reward_honest));
+      } else {
+        trust_.apply_evidence(a.responder,
+                              trust::lie_evidence(trust_.params().gravity_lie));
+      }
+    }
+  }
+  // Unresponsive verifiers under the fault-tolerant policy: relax their
+  // trust toward the default instead of freezing it at its pre-crash value.
+  if (config_.decay_unresponsive) {
+    for (const auto& a : round.answers)
+      if (!a.answered) trust_.decay_idle(a.responder);
+  }
+  // The suspect's own trust only moves on a *confirmed* verdict.
+  if (verdict == trust::Verdict::kIntruder) {
+    trust_.apply_evidence(
+        round.query.suspect,
+        trust::intrusion_evidence(trust_.params().gravity_lie));
+  } else if (verdict == trust::Verdict::kWellBehaving) {
+    trust_.apply_evidence(
+        round.query.suspect,
+        trust::honest_answer_evidence(trust_.params().reward_honest));
+  }
+
+  reports_.push_back(report);
+  if (reports_.size() > 10'000) reports_.pop_front();
+  if (on_report_) on_report_(report);
+}
+
+// ------------------------------------------------------------ header codec
+
+void write_audit_header(logging::AuditWriter& writer,
+                        const AuditHeader& header) {
+  writer.u32(logging::kAuditMagic);
+  writer.u32(logging::kAuditVersion);
+  const auto& c = header.config;
+  writer.node(c.self);
+  const auto& tp = c.trust_params;
+  writer.f64(tp.default_trust);
+  writer.f64(tp.min_trust);
+  writer.f64(tp.max_trust);
+  writer.f64(tp.forgetting);
+  writer.f64(tp.gravity_lie);
+  writer.f64(tp.reward_honest);
+  writer.f64(tp.idle_rate_from_above);
+  writer.f64(tp.idle_rate_from_below);
+  writer.f64(c.decision.gamma);
+  writer.f64(c.decision.confidence_level);
+  writer.boolean(c.decision.use_confidence_interval);
+  writer.f64(c.trust_update_min_detect);
+  writer.time(c.liveness_window);
+  writer.boolean(c.decay_unresponsive);
+  writer.count(header.trust_rows.size());
+  for (const auto& [subject, value] : header.trust_rows) {
+    writer.node(subject);
+    writer.f64(value);
+  }
+  writer.count(header.interaction_rows.size());
+  for (const auto& row : header.interaction_rows) {
+    writer.node(row.subject);
+    writer.i64(row.positive);
+    writer.i64(row.total);
+  }
+}
+
+AuditHeader read_audit_header(logging::AuditReader& reader) {
+  const auto magic = reader.u32();
+  if (magic != logging::kAuditMagic)
+    throw logging::AuditError{"not an audit log (bad magic)"};
+  const auto version = reader.u32();
+  if (version != logging::kAuditVersion)
+    throw logging::AuditError{"unsupported audit log version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(logging::kAuditVersion) + ")"};
+  AuditHeader header;
+  auto& c = header.config;
+  c.self = reader.node();
+  auto& tp = c.trust_params;
+  tp.default_trust = reader.f64();
+  tp.min_trust = reader.f64();
+  tp.max_trust = reader.f64();
+  tp.forgetting = reader.f64();
+  tp.gravity_lie = reader.f64();
+  tp.reward_honest = reader.f64();
+  tp.idle_rate_from_above = reader.f64();
+  tp.idle_rate_from_below = reader.f64();
+  c.decision.gamma = reader.f64();
+  c.decision.confidence_level = reader.f64();
+  c.decision.use_confidence_interval = reader.boolean();
+  c.trust_update_min_detect = reader.f64();
+  c.liveness_window = reader.time();
+  c.decay_unresponsive = reader.boolean();
+  const std::size_t ntrust = reader.count();
+  header.trust_rows.reserve(ntrust);
+  for (std::size_t i = 0; i < ntrust; ++i) {
+    const auto subject = reader.node();
+    const double value = reader.f64();
+    header.trust_rows.emplace_back(subject, value);
+  }
+  const std::size_t ninter = reader.count();
+  header.interaction_rows.reserve(ninter);
+  for (std::size_t i = 0; i < ninter; ++i) {
+    trust::TrustStore::Counter row;
+    row.subject = reader.node();
+    row.positive = static_cast<int>(reader.i64());
+    row.total = static_cast<int>(reader.i64());
+    header.interaction_rows.push_back(row);
+  }
+  return header;
+}
+
+DetectionPipeline pipeline_from_header(const AuditHeader& header) {
+  DetectionPipeline pipeline{header.config};
+  pipeline.trust_store().restore(header.trust_rows, header.interaction_rows);
+  return pipeline;
+}
+
+// ------------------------------------------------------------- frame codec
+
+void write_round_frame(logging::AuditWriter& writer, sim::Time time,
+                       const AuditRound& round) {
+  writer.begin_frame(logging::AuditFrame::kRound);
+  writer.time(time);
+  writer.u32(round.query.investigation_id);
+  writer.u8(static_cast<std::uint8_t>(round.query.kind));
+  writer.node(round.query.suspect);
+  writer.node(round.query.subject);
+  writer.boolean(round.query.claimed_up);
+  writer.f64(round.own_observation);
+  writer.count(round.answers.size());
+  for (const auto& a : round.answers) {
+    writer.node(a.responder);
+    writer.f64(a.evidence);
+    writer.boolean(a.answered);
+  }
+  // Plain u64, not count(): timeouts is a tally, not an element count, so
+  // the reader must not bound it by the remaining payload bytes.
+  writer.u64(round.timeouts);
+  writer.count(round.tags.size());
+  for (auto tag : round.tags) writer.u8(static_cast<std::uint8_t>(tag));
+  writer.end_frame();
+}
+
+void write_decay_frame(logging::AuditWriter& writer, sim::Time time) {
+  writer.begin_frame(logging::AuditFrame::kDecay);
+  writer.time(time);
+  writer.end_frame();
+}
+
+namespace {
+
+AuditRound read_round_payload(logging::AuditReader& reader) {
+  AuditRound round;
+  round.query.investigation_id = reader.u32();
+  const auto kind = reader.u8();
+  if (kind < static_cast<std::uint8_t>(QueryKind::kLinkStatus) ||
+      kind > static_cast<std::uint8_t>(QueryKind::kForwarding))
+    throw logging::AuditError{"corrupt round frame: bad query kind"};
+  round.query.kind = static_cast<QueryKind>(kind);
+  round.query.suspect = reader.node();
+  round.query.subject = reader.node();
+  round.query.claimed_up = reader.boolean();
+  round.own_observation = reader.f64();
+  const std::size_t nanswers = reader.count();
+  round.answers.reserve(nanswers);
+  for (std::size_t i = 0; i < nanswers; ++i) {
+    RoundAnswer a;
+    a.responder = reader.node();
+    a.evidence = reader.f64();
+    a.answered = reader.boolean();
+    round.answers.push_back(a);
+  }
+  round.timeouts = static_cast<std::size_t>(reader.u64());
+  const std::size_t ntags = reader.count();
+  round.tags.reserve(ntags);
+  for (std::size_t i = 0; i < ntags; ++i) {
+    const auto tag = reader.u8();
+    if (tag > static_cast<std::uint8_t>(EvidenceTag::kPeriodicCheck))
+      throw logging::AuditError{"corrupt round frame: bad evidence tag"};
+    round.tags.push_back(static_cast<EvidenceTag>(tag));
+  }
+  return round;
+}
+
+}  // namespace
+
+AuditStreamReader::AuditStreamReader(const std::uint8_t* data,
+                                     std::size_t size)
+    : reader_{data, size}, header_{read_audit_header(reader_)} {}
+
+bool AuditStreamReader::next(AuditEvent& out) {
+  if (reader_.at_end()) return false;
+  const auto frame = reader_.begin_frame();
+  out.kind = frame.kind;
+  out.line = {};
+  out.round = {};
+  switch (frame.kind) {
+    case logging::AuditFrame::kLine:
+      out.line = reader_.line();
+      out.time = out.line.time;
+      break;
+    case logging::AuditFrame::kRound:
+      out.time = reader_.time();
+      out.round = read_round_payload(reader_);
+      break;
+    case logging::AuditFrame::kDecay:
+      out.time = reader_.time();
+      break;
+  }
+  reader_.end_frame(frame);
+  return true;
+}
+
+// -------------------------------------------------------------- CSV output
+
+namespace {
+
+std::string g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string verdict_csv(const std::deque<DetectionReport>& reports) {
+  std::string out =
+      "time_us,suspect,subject,claimed_up,verdict,detect,cumulative_detect,"
+      "interval_mean,interval_margin,answers,timeouts,cumulative_answers,"
+      "suppressed,tags\n";
+  for (const auto& r : reports) {
+    out += std::to_string(r.time.us());
+    out += ',';
+    out += r.suspect.to_string();
+    out += ',';
+    out += r.subject.to_string();
+    out += ',';
+    out += r.claimed_up ? '1' : '0';
+    out += ',';
+    out += trust::to_string(r.verdict);
+    out += ',';
+    out += g17(r.detect);
+    out += ',';
+    out += g17(r.cumulative_detect);
+    out += ',';
+    out += g17(r.interval.mean);
+    out += ',';
+    out += g17(r.interval.margin);
+    out += ',';
+    out += std::to_string(r.answers);
+    out += ',';
+    out += std::to_string(r.timeouts);
+    out += ',';
+    out += std::to_string(r.cumulative_answers);
+    out += ',';
+    out += r.suppressed ? '1' : '0';
+    out += ',';
+    for (std::size_t i = 0; i < r.tags.size(); ++i) {
+      if (i) out += '|';
+      out += to_string(r.tags[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string trust_csv(const trust::TrustStore& store) {
+  std::string out = "subject,trust,interactions_positive,interactions_total\n";
+  const auto& trust_rows = store.trust_rows();
+  const auto& inter_rows = store.interaction_rows();
+  std::size_t t = 0, i = 0;
+  // Both slabs are sorted by subject; merge them into one row per subject.
+  while (t < trust_rows.size() || i < inter_rows.size()) {
+    NodeId subject;
+    if (i >= inter_rows.size() ||
+        (t < trust_rows.size() && trust_rows[t].first < inter_rows[i].subject))
+      subject = trust_rows[t].first;
+    else
+      subject = inter_rows[i].subject;
+    out += subject.to_string();
+    out += ',';
+    if (t < trust_rows.size() && trust_rows[t].first == subject) {
+      out += g17(trust_rows[t].second);
+      ++t;
+    } else {
+      out += g17(store.params().default_trust);
+    }
+    out += ',';
+    if (i < inter_rows.size() && inter_rows[i].subject == subject) {
+      out += std::to_string(inter_rows[i].positive);
+      out += ',';
+      out += std::to_string(inter_rows[i].total);
+      ++i;
+    } else {
+      out += "0,0";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace manet::core

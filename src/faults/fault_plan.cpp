@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
+#include <vector>
 
 #include "sim/rng.hpp"
 
@@ -68,6 +70,8 @@ FaultPlan FaultPlan::parse(const std::string& text) {
   std::istringstream in{text};
   std::string line;
   std::size_t line_no = 0;
+  // (event time, declaring line, is-partition) for the single-cut check.
+  std::vector<std::tuple<sim::Time, std::size_t, bool>> partition_lines;
   auto fail = [&](const std::string& why) {
     throw std::invalid_argument{"fault plan line " + std::to_string(line_no) +
                                 ": " + why};
@@ -80,6 +84,7 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     std::int64_t t_ms = 0;
     std::string kind;
     if (!(ls >> t_ms)) continue;  // blank / comment-only line
+    if (t_ms < 0) fail("negative timestamp " + std::to_string(t_ms) + "ms");
     if (!(ls >> kind)) fail("missing event kind");
     FaultEvent e;
     e.at = sim::Time::from_ms(t_ms);
@@ -119,6 +124,29 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     std::string trailing;
     if (ls >> trailing) fail("trailing operand '" + trailing + "'");
     plan.events.push_back(e);
+    if (e.kind == FaultKind::kPartition || e.kind == FaultKind::kHeal)
+      partition_lines.emplace_back(e.at, line_no,
+                                   e.kind == FaultKind::kPartition);
+  }
+  // The medium models at most one live partition (FaultInjector::heal
+  // clears THE cut): a second `partition` before a `heal` in time order
+  // would silently overwrite the first, so reject it with the line that
+  // declared it.
+  std::stable_sort(partition_lines.begin(), partition_lines.end(),
+                   [](const auto& a, const auto& b) {
+                     return std::get<0>(a) < std::get<0>(b);
+                   });
+  bool cut_open = false;
+  for (const auto& [at, at_line, is_partition] : partition_lines) {
+    if (is_partition) {
+      if (cut_open) {
+        line_no = at_line;
+        fail("duplicate partition (previous cut not healed yet)");
+      }
+      cut_open = true;
+    } else {
+      cut_open = false;
+    }
   }
   plan.sort();
   return plan;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "logging/audit_log.hpp"
 #include "logging/format.hpp"
 
 namespace manet::logging {
@@ -13,6 +14,7 @@ void LogStore::append(LogRecord record) {
     records_.pop_front();
     ++dropped_;
   }
+  if (audit_writer_) audit_writer_->line(records_.back());
   if (observer_) observer_(records_.back());
 }
 

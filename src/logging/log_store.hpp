@@ -9,6 +9,8 @@
 
 namespace manet::logging {
 
+class AuditWriter;
+
 /// Append-only audit log of one node's routing daemon, with bounded
 /// retention. The IDS reads it through `text_since` + the parser — i.e.
 /// through the same text round-trip a real log file would impose.
@@ -37,6 +39,21 @@ class LogStore {
     observer_ = std::move(observer);
   }
 
+  /// Writer mode: every appended record is also emitted as a kLine frame of
+  /// the binary audit-log format (logging/audit_log.hpp) — the recording
+  /// half of the offline detection pipeline. The writer must outlive this
+  /// store (or be detached with nullptr); retention dropping old records
+  /// never rewrites frames already emitted.
+  void set_audit_writer(AuditWriter* writer) { audit_writer_ = writer; }
+  AuditWriter* audit_writer() const { return audit_writer_; }
+
+  /// Absolute index of the oldest retained record: records_[i] is the
+  /// (base_index() + i)-th record ever appended. Lets cursor-based readers
+  /// (the detector's pipeline feed) survive retention drops.
+  std::uint64_t base_index() const {
+    return total_appended_ - records_.size();
+  }
+
   std::uint64_t total_appended() const { return total_appended_; }
   std::uint64_t dropped() const { return dropped_; }
 
@@ -54,6 +71,7 @@ class LogStore {
   std::size_t max_records_;
   std::deque<LogRecord> records_;
   std::function<void(const LogRecord&)> observer_;
+  AuditWriter* audit_writer_ = nullptr;
   std::uint64_t total_appended_ = 0;
   std::uint64_t dropped_ = 0;
 };

@@ -275,7 +275,10 @@ std::string Aggregator::degradation_csv(std::span<const DegradationRow> rows) {
     out += ',';
     out += fmt(row.converged_frac);
     out += ',';
-    out += fmt(row.reconverge_mean);
+    // -1 is the "no replication re-converged" sentinel, not a mean of
+    // rounds; emitting it as a number poisons downstream averaging, so the
+    // cell stays empty instead.
+    if (row.reconverge_mean >= 0.0) out += fmt(row.reconverge_mean);
     out += '\n';
   }
   return out;

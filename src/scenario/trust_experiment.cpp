@@ -6,7 +6,9 @@
 #include <string>
 #include <utility>
 
+#include "core/pipeline.hpp"
 #include "faults/checkpoint.hpp"
+#include "logging/audit_log.hpp"
 #include "net/topology.hpp"
 #include "olsr/wire.hpp"
 
@@ -114,6 +116,21 @@ void TrustExperiment::build_network() {
         Network::id_of(i),
         picker.uniform_real(config_.initial_trust_min,
                             config_.initial_trust_max));
+  }
+
+  if (config_.record_audit) {
+    // Header first (pipeline config + the just-assigned initial trust),
+    // then the LogStore writer mode and the pipeline recorder emit frames
+    // for the rest of the run. Attached before start_all, so the stream
+    // holds every line the detector will ever see.
+    audit_writer_ = std::make_unique<logging::AuditWriter>();
+    core::AuditHeader header;
+    header.config = core::pipeline_config(investigator(), dc);
+    header.trust_rows = detector_->trust_store().trust_rows();
+    header.interaction_rows = detector_->trust_store().interaction_rows();
+    core::write_audit_header(*audit_writer_, header);
+    network_->agent(0).log().set_audit_writer(audit_writer_.get());
+    detector_->pipeline().set_recorder(audit_writer_.get());
   }
 
   if (config_.checkpointable) {
@@ -268,7 +285,9 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_churn_round() {
 TrustExperiment::RoundSnapshot TrustExperiment::run_idle_round() {
   RoundSnapshot snap;
   snap.round = ++round_counter_;
-  detector_->trust_store().decay_all_idle();
+  // Through the pipeline, not the trust store directly: the decay is an
+  // audit-stream event (kDecay frame), so a recorded run replays it.
+  detector_->pipeline().consume_decay(network_->now());
   drive(sim::Duration::from_seconds(2.0));
   snap.at = network_->now();
   for (std::size_t i = 1; i < config_.num_nodes; ++i) {
@@ -353,9 +372,18 @@ std::unique_ptr<TrustExperiment> TrustExperiment::restore_checkpoint(
   return exp;
 }
 
+std::vector<std::uint8_t> TrustExperiment::audit_log() const {
+  return audit_writer_ ? audit_writer_->buffer()
+                       : std::vector<std::uint8_t>{};
+}
+
 void TrustExperiment::apply_restored(const std::vector<std::uint8_t>& bytes) {
   if (!config_.checkpointable)
     throw std::invalid_argument{"restore requires a checkpointable config"};
+  if (config_.record_audit)
+    throw std::invalid_argument{
+        "record_audit cannot resume from a checkpoint: the recorded stream "
+        "would have no beginning"};
   // Rebuild the object graph exactly as setup() does — no timers armed, no
   // draws from the network's RNG — then overwrite all state and re-arm the
   // pending events.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <vector>
@@ -9,6 +10,10 @@
 #include "faults/injector.hpp"
 #include "faults/invariants.hpp"
 #include "scenario/network.hpp"
+
+namespace manet::logging {
+class AuditWriter;
+}
 
 namespace manet::scenario {
 
@@ -56,6 +61,14 @@ class TrustExperiment {
     /// not heard from within this window are downgraded, and unresponsive
     /// investigation responders decay instead of freezing.
     sim::Duration liveness_window = sim::Duration::from_seconds(10.0);
+    /// Record the investigator's audit-event stream (versioned binary
+    /// format, logging/audit_log.hpp): header with the pipeline config and
+    /// initial trust snapshot, then every log line / completed round / idle
+    /// decay as frames. tools/manet_detect replays the bytes offline with
+    /// byte-identical verdicts and trust trajectories. Recording never
+    /// perturbs the run itself. Incompatible with restore_checkpoint (a
+    /// resumed run would record a log with no beginning).
+    bool record_audit = false;
   };
 
   struct RoundSnapshot {
@@ -115,6 +128,12 @@ class TrustExperiment {
   Network& network() { return *network_; }
   core::Detector& detector() { return *detector_; }
 
+  /// The recorded audit-log bytes so far (empty unless
+  /// Config::record_audit). Complete at any round boundary — the format is
+  /// a stream, not a document, so a prefix up to a frame boundary is a
+  /// valid log.
+  std::vector<std::uint8_t> audit_log() const;
+
   // --- fault injection & checkpointing ---
   bool faulted() const { return !config_.fault_plan.empty(); }
   /// The injector driving the configured fault plan (null when pristine).
@@ -158,6 +177,10 @@ class TrustExperiment {
                                           const std::vector<NodeId>& verifiers);
 
   Config config_;
+  /// Declared before network_: the investigator's LogStore and the
+  /// detector's pipeline hold raw pointers to this writer, so it must
+  /// outlive them (members destroy in reverse declaration order).
+  std::unique_ptr<logging::AuditWriter> audit_writer_;
   std::unique_ptr<Network> network_;
   core::Detector* detector_ = nullptr;
   attacks::LinkSpoofingAttack* spoof_ = nullptr;

@@ -78,6 +78,55 @@ TEST(FaultPlan, ParseRejectsMalformedLines) {
   EXPECT_THROW(FaultPlan::parse("1000 heal n2\n"), std::invalid_argument);
 }
 
+// Captures the exception message, or "" if the text parsed cleanly.
+std::string parse_error(const std::string& text) {
+  try {
+    FaultPlan::parse(text);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(FaultPlan, ParseRejectsNegativeTimestamps) {
+  // Time::from_ms would happily produce a pre-t0 event; the parser must
+  // refuse it with the offending line in the message.
+  const auto msg = parse_error("1000 crash n2\n-500 restart n2\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("negative timestamp"), std::string::npos) << msg;
+}
+
+TEST(FaultPlan, ParseRejectsDuplicatePartition) {
+  // A second cut before the heal would silently overwrite the first in the
+  // medium; the error names the line that declared the duplicate, even
+  // though the check runs after time-sorting.
+  const auto msg = parse_error(
+      "1000 partition 50\n"
+      "2000 crash n2\n"
+      "1500 partition 75\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate partition"), std::string::npos) << msg;
+}
+
+TEST(FaultPlan, ParseRejectsOutOfOrderDuplicatePartition) {
+  // Textually the heal comes first, but in time order both cuts land before
+  // it — still a duplicate.
+  const auto msg = parse_error(
+      "3000 heal\n"
+      "1000 partition 50\n"
+      "2000 partition 75\n");
+  EXPECT_NE(msg.find("duplicate partition"), std::string::npos) << msg;
+}
+
+TEST(FaultPlan, ParseAllowsPartitionAfterHeal) {
+  const auto plan = FaultPlan::parse(
+      "1000 partition 50\n"
+      "2000 heal\n"
+      "3000 partition 75\n"
+      "4000 heal\n");
+  EXPECT_EQ(plan.events.size(), 4u);
+}
+
 // --- chaos generator -----------------------------------------------------
 
 TEST(FaultPlan, ChaosIsDeterministicInTheSeed) {

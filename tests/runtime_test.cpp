@@ -228,6 +228,31 @@ TEST(Aggregator, NoConvictionsYieldsSentinelRound) {
   EXPECT_DOUBLE_EQ(rows[0].control_messages.margin, 0.0);
 }
 
+TEST(Aggregator, DegradationCsvLeavesReconvergeCellEmptyWhenNoneReconverged) {
+  // reconverge_mean = -1 is the "no replication re-converged" sentinel; it
+  // must surface as an empty CSV cell, not as -1.000000 that would poison
+  // downstream averaging.
+  ReplicationResult r;
+  r.point = GridPoint{8, 0.0, MobilityPreset::kStatic};
+  r.down_per_round = {1};
+  r.false_conv_per_round = {0};
+  r.suppressed_per_round = {0};
+  r.converged_per_round = {false};
+  r.reconverge_rounds = -1;
+  Aggregator agg{0.95};
+  const auto csv = Aggregator::degradation_csv(
+      agg.degradation(std::vector<ReplicationResult>{r}));
+  EXPECT_EQ(csv.find("-1.000000"), std::string::npos) << csv;
+  // The data row ends with ",converged_frac," and an empty final cell.
+  EXPECT_NE(csv.find("0.000000,\n"), std::string::npos) << csv;
+
+  // A replication that did re-converge still reports the mean.
+  r.reconverge_rounds = 3;
+  const auto csv2 = Aggregator::degradation_csv(
+      agg.degradation(std::vector<ReplicationResult>{r}));
+  EXPECT_NE(csv2.find("3.000000\n"), std::string::npos) << csv2;
+}
+
 TEST(Aggregator, PerRoundTrajectoryAverages) {
   const GridPoint point{8, 0.34, MobilityPreset::kStatic};
   std::vector<ReplicationResult> results;

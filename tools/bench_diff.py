@@ -9,15 +9,20 @@ the sense of "next recorded", so a gap like BENCH_3 missing pairs 2 with
 4 — and prints, per benchmark present in both, the median CPU-time delta.
 
 Usage:
-    tools/bench_diff.py [--dir DIR] [--last]
+    tools/bench_diff.py [--dir DIR] [--last] [--selftest]
 
     --dir DIR   directory holding BENCH_N.json files (default: repo root)
     --last      only diff the last recorded pair
+    --selftest  run the built-in unit checks (synthetic reports covering
+                added/removed gauges, raw-only reports, missing fields) and
+                exit non-zero on any failure — CI's bench-smoke runs this
 
-Benchmarks appearing on only one side are listed as added/removed; a
-comparability break (different machine in the JSON context) is flagged but
-not fatal, mirroring the BENCHMARKING.md caveat that cross-host numbers are
-indicative only.
+Benchmarks appearing on only one side are listed as added/removed — gauges
+come and go as subsystems land and retire, so neither direction is an
+error. Reports without median aggregates (e.g. a single-repetition smoke
+run) fall back to their raw iteration entries. A comparability break
+(different machine in the JSON context) is flagged but not fatal, mirroring
+the BENCHMARKING.md caveat that cross-host numbers are indicative only.
 """
 
 from __future__ import annotations
@@ -32,14 +37,24 @@ BENCH_RE = re.compile(r"^BENCH_(\d+)\.json$")
 
 
 def load_medians(path: Path) -> tuple[dict[str, tuple[float, str]], dict]:
-    """Map run_name -> (median cpu_time, unit) from one report."""
+    """Map run_name -> (median cpu_time, unit) from one report.
+
+    Prefers median aggregates; a report with none (single-repetition runs
+    emit only raw iteration entries) falls back to those raw entries.
+    Entries without a cpu_time are skipped rather than fatal.
+    """
     with path.open() as fh:
         data = json.load(fh)
+    benches = data.get("benchmarks", [])
+    picked = [b for b in benches if b.get("aggregate_name") == "median"]
+    if not picked:
+        picked = [b for b in benches if "aggregate_name" not in b]
     medians: dict[str, tuple[float, str]] = {}
-    for bench in data.get("benchmarks", []):
-        if bench.get("aggregate_name") != "median":
+    for bench in picked:
+        if "cpu_time" not in bench:
             continue
-        name = bench.get("run_name") or bench["name"].removesuffix("_median")
+        name = (bench.get("run_name")
+                or bench.get("name", "?").removesuffix("_median"))
         medians[name] = (bench["cpu_time"], bench.get("time_unit", "ns"))
     return medians, data.get("context", {})
 
@@ -57,7 +72,9 @@ def diff_pair(old_path: Path, new_path: Path) -> None:
               "deltas are indicative only)")
 
     shared = sorted(set(old) & set(new))
-    width = max((len(n) for n in shared), default=0)
+    # Width over every name on either side, so added/removed rows align
+    # even when no gauge is shared between the two reports.
+    width = max((len(n) for n in set(old) | set(new)), default=0)
     for name in shared:
         o_val, o_unit = old[name]
         n_val, n_unit = new[name]
@@ -76,6 +93,83 @@ def diff_pair(old_path: Path, new_path: Path) -> None:
     print()
 
 
+def selftest() -> int:
+    """Unit checks over synthetic reports; returns 0 when all pass."""
+    import contextlib
+    import io
+    import tempfile
+
+    def report(benches: list[dict], host: str = "ci") -> dict:
+        return {"context": {"host_name": host}, "benchmarks": benches}
+
+    def median(name: str, cpu: float) -> dict:
+        return {"name": f"{name}_median", "run_name": name,
+                "aggregate_name": "median", "cpu_time": cpu,
+                "time_unit": "ns"}
+
+    def raw(name: str, cpu: float) -> dict:
+        return {"name": name, "run_name": name, "cpu_time": cpu,
+                "time_unit": "ns"}
+
+    cases_failed = 0
+
+    def check(label: str, cond: bool) -> None:
+        nonlocal cases_failed
+        if not cond:
+            cases_failed += 1
+            print(f"selftest FAIL: {label}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        d = Path(tmp)
+
+        def run_diff(old: dict, new: dict) -> str:
+            (d / "a.json").write_text(json.dumps(old))
+            (d / "b.json").write_text(json.dumps(new))
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                diff_pair(d / "a.json", d / "b.json")
+            return out.getvalue()
+
+        # Gauges added and retired between reports: new/removed rows, no
+        # crash, shared gauge still diffed.
+        text = run_diff(
+            report([median("BM_Kept", 100.0), median("BM_Retired", 50.0)]),
+            report([median("BM_Kept", 200.0), median("BM_Added", 10.0)]))
+        check("added gauge listed", "[new gauge: 10.0 ns]" in text)
+        check("retired gauge listed", "BM_Retired" in text
+              and "[gauge removed]" in text)
+        check("shared gauge diffed", "2.00x slower" in text)
+
+        # Disjoint gauge sets: nothing shared, still prints both sides.
+        text = run_diff(report([median("BM_OnlyOld", 5.0)]),
+                        report([median("BM_OnlyNew", 7.0)]))
+        check("disjoint sets ok", "[new gauge:" in text
+              and "[gauge removed]" in text)
+
+        # Raw-only report (single repetition, no aggregates): falls back.
+        text = run_diff(report([raw("BM_Raw", 10.0)]),
+                        report([raw("BM_Raw", 30.0)]))
+        check("raw fallback diffed", "3.00x slower" in text)
+
+        # Entries without cpu_time are skipped, not fatal.
+        text = run_diff(
+            report([{"name": "BM_NoTime", "run_name": "BM_NoTime"},
+                    median("BM_Ok", 10.0)]),
+            report([median("BM_Ok", 10.0)]))
+        check("missing cpu_time skipped", "BM_Ok" in text
+              and "BM_NoTime" not in text)
+
+        # Host change is flagged but not fatal.
+        text = run_diff(report([median("BM_Ok", 1.0)], host="a"),
+                        report([median("BM_Ok", 1.0)], host="b"))
+        check("host change flagged", "context differs" in text)
+
+    if cases_failed == 0:
+        print("bench_diff selftest: all checks passed")
+        return 0
+    return 1
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="Median deltas between consecutive BENCH_N.json reports")
@@ -83,7 +177,12 @@ def main() -> int:
                         help="directory holding BENCH_N.json files")
     parser.add_argument("--last", action="store_true",
                         help="only diff the most recent pair")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the built-in unit checks and exit")
     args = parser.parse_args()
+
+    if args.selftest:
+        return selftest()
 
     bench_dir = Path(args.dir)
     numbered = sorted(

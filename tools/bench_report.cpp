@@ -5,8 +5,10 @@
 // round-trip, the flat-slab trust store at >= 10k subjects, and the psim
 // sharded-engine gauges (full-stack slabs, synthetic window throughput,
 // serial-fraction counters), and the fault-subsystem checkpoint codec
-// (save/restore throughput at 256 and 1024 nodes) — with repeated runs and median aggregates, and
-// writes the results to BENCH_7.json: the current point of this repo's
+// (save/restore throughput at 256 and 1024 nodes), plus the audit-event
+// detection pipeline (in-memory consume and binary-log replay at 256 and
+// 1024 peer streams) — with repeated runs and median aggregates, and
+// writes the results to BENCH_8.json: the current point of this repo's
 // recorded perf trajectory (see docs/BENCHMARKING.md for the whole series
 // and its comparability rules; tools/bench_diff.py prints median deltas
 // between consecutive BENCH_N files).
@@ -23,7 +25,7 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args = {
       argv[0],
-      "--benchmark_out=BENCH_7.json",
+      "--benchmark_out=BENCH_8.json",
       "--benchmark_out_format=json",
       "--benchmark_repetitions=5",
       "--benchmark_report_aggregates_only=true",
@@ -33,7 +35,8 @@ int main(int argc, char** argv) {
       "BM_RoutingRecompute|BM_SequentialSlab|BM_ShardedSlab|"
       "BM_SequentialWindows|BM_ShardedWindows|"
       "BM_TrustUpdateLarge|BM_TrustDecayAllLarge|"
-      "BM_CheckpointSave|BM_CheckpointRestore",
+      "BM_CheckpointSave|BM_CheckpointRestore|"
+      "BM_DetectConsume|BM_AuditReplay|BM_AuditDecode",
   };
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
 
