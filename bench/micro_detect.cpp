@@ -1,7 +1,9 @@
 // Micro-benchmarks of the audit-event detection pipeline: in-memory
-// consumption throughput (records/s into Eq. 8-10 + trust updates) and
+// consumption throughput (records/s into Eq. 8-10 + trust updates),
 // end-to-end offline replay (binary decode + consume) over the recorded
-// audit-log format — the gauges behind the manet_detect offline path.
+// audit-log format — the gauges behind the manet_detect offline path —
+// plus the forwarding-audit frame path and the end-to-end grayhole round
+// (flood accumulation + drop + scan + pooled investigation).
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +11,7 @@
 
 #include "core/pipeline.hpp"
 #include "logging/audit_log.hpp"
+#include "scenario/trust_experiment.hpp"
 
 using namespace manet;
 
@@ -128,6 +131,51 @@ static void BM_AuditReplay(benchmark::State& state) {
                           static_cast<std::int64_t>(bytes.size()));
 }
 BENCHMARK(BM_AuditReplay)->Arg(256)->Arg(1024);
+
+// Forwarding-audit frame consumption: the kForwardAudit path is recorder
+// write + bounded telemetry append, deliberately touching no trust state —
+// this gauge keeps it honest (it should sit far above the kRound rate).
+static void BM_ForwardAuditConsume(benchmark::State& state) {
+  const auto peers = static_cast<std::uint32_t>(state.range(0));
+  std::vector<core::AuditEvent> events;
+  events.reserve(4096);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    core::AuditEvent e;
+    e.kind = logging::AuditFrame::kForwardAudit;
+    e.time = sim::Time::from_us(static_cast<std::int64_t>(i) * 1000);
+    e.audit.mpr = net::NodeId{1 + static_cast<std::uint32_t>(i) % peers};
+    e.audit.expected = 8;
+    e.audit.forwarded = i % 2 ? 8 : 0;
+    events.push_back(std::move(e));
+  }
+  for (auto _ : state) {
+    core::DetectionPipeline pipeline{synth_config(peers)};
+    for (const auto& e : events) pipeline.consume(e);
+    benchmark::DoNotOptimize(pipeline.forward_audits().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events.size()));
+}
+BENCHMARK(BM_ForwardAuditConsume)->Arg(256)->Arg(1024);
+
+// End-to-end grayhole detection round: 5 s of simulated flood traffic on
+// the 16-node grid (the attacker dropping everything it attracted), one
+// detector scan and the pooled investigations it launches — the wall-clock
+// unit of manet_experiments --sweep grayhole.
+static void BM_GrayholeRound(benchmark::State& state) {
+  scenario::TrustExperiment::Config config;
+  config.attack = scenario::TrustExperiment::AttackKind::kGrayhole;
+  config.seed = 1;
+  config.num_nodes = 16;
+  config.num_liars = 0;
+  scenario::TrustExperiment exp{config};
+  exp.setup();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp.run_round().at.us());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GrayholeRound)->Unit(benchmark::kMillisecond);
 
 // Decode-only: frame walk + payload decode with no pipeline behind it —
 // isolates the codec cost from the detection math.

@@ -1,0 +1,38 @@
+#include "attacks/composite.hpp"
+
+namespace manet::attacks {
+
+CampaignNode spoof_drop_campaign(LinkSpoofingAttack::Mode mode,
+                                 std::set<olsr::NodeId> targets, sim::Rng rng,
+                                 double drop_fraction) {
+  CampaignNode node;
+  node.spoof = std::make_unique<LinkSpoofingAttack>(mode, std::move(targets));
+  node.drop = std::make_unique<DropAttack>(rng, drop_fraction);
+  node.hooks.add(*node.spoof);
+  node.hooks.add(*node.drop);
+  return node;
+}
+
+WormholeDropCampaign wormhole_drop_colluders(sim::Engine& sim,
+                                             sim::Duration tunnel_delay,
+                                             sim::Rng capture_rng,
+                                             double drop_fraction) {
+  WormholeDropCampaign campaign;
+  campaign.channel = std::make_shared<WormholeChannel>(tunnel_delay);
+
+  campaign.capture_end.wormhole = std::make_unique<WormholeEndpoint>(
+      sim, campaign.channel, WormholeEndpoint::Role::kCapture);
+  campaign.capture_end.drop =
+      std::make_unique<DropAttack>(capture_rng, drop_fraction);
+  // Capture before drop: the tunnel must record the message even when the
+  // local relay is then suppressed — that asymmetry is the attack.
+  campaign.capture_end.hooks.add(*campaign.capture_end.wormhole);
+  campaign.capture_end.hooks.add(*campaign.capture_end.drop);
+
+  campaign.replay_end.wormhole = std::make_unique<WormholeEndpoint>(
+      sim, campaign.channel, WormholeEndpoint::Role::kReplay);
+  campaign.replay_end.hooks.add(*campaign.replay_end.wormhole);
+  return campaign;
+}
+
+}  // namespace manet::attacks

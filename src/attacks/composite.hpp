@@ -1,7 +1,12 @@
 #pragma once
 
+#include <memory>
+#include <set>
 #include <vector>
 
+#include "attacks/drop.hpp"
+#include "attacks/link_spoofing.hpp"
+#include "attacks/wormhole.hpp"
 #include "olsr/hooks.hpp"
 
 namespace manet::attacks {
@@ -42,5 +47,38 @@ class CompositeHooks final : public olsr::AgentHooks {
  private:
   std::vector<olsr::AgentHooks*> chain_;
 };
+
+/// An owned attack bundle for one campaign node: the chained hooks plus the
+/// individual attacks they delegate to (exposed so experiments can toggle
+/// or interrogate each behaviour). Move-only; the chain holds pointers into
+/// the unique_ptrs, which stay stable across moves.
+struct CampaignNode {
+  std::unique_ptr<LinkSpoofingAttack> spoof;
+  std::unique_ptr<DropAttack> drop;
+  std::unique_ptr<WormholeEndpoint> wormhole;
+  CompositeHooks hooks;
+};
+
+/// Spoof+drop campaign (the paper's blackhole provision made concrete): the
+/// node forges HELLOs to force its MPR selection, then grayholes the floods
+/// it attracted. Chain order: spoof first (it only touches HELLO builds),
+/// drop second.
+CampaignNode spoof_drop_campaign(LinkSpoofingAttack::Mode mode,
+                                 std::set<olsr::NodeId> targets, sim::Rng rng,
+                                 double drop_fraction);
+
+/// Wormhole+drop colluders: the capture end records control traffic into
+/// the tunnel while grayholing what it should have forwarded; the replay
+/// end re-broadcasts the tunneled messages in its distant region. Bind each
+/// end's wormhole to its host agent before starting.
+struct WormholeDropCampaign {
+  std::shared_ptr<WormholeChannel> channel;
+  CampaignNode capture_end;
+  CampaignNode replay_end;
+};
+WormholeDropCampaign wormhole_drop_colluders(sim::Engine& sim,
+                                             sim::Duration tunnel_delay,
+                                             sim::Rng capture_rng,
+                                             double drop_fraction);
 
 }  // namespace manet::attacks

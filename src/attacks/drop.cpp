@@ -2,17 +2,28 @@
 
 namespace manet::attacks {
 
+bool DropAttack::duty_tick() {
+  if (duty_on_ == 0 || duty_off_ == 0) return true;
+  const bool on = duty_pos_ < duty_on_;
+  duty_pos_ = (duty_pos_ + 1) % (duty_on_ + duty_off_);
+  return on;
+}
+
 bool DropAttack::should_forward(const olsr::Message& message) {
-  (void)message;
   if (!active_ || !drop_control_) return true;
+  // Non-candidates are relayed without consuming a draw or a duty slot, so
+  // the targeted modes stay deterministic regardless of bystander traffic.
+  if (!targets(message.header.originator)) return true;
+  if (!duty_tick()) return true;
   if (!rng_.bernoulli(drop_probability_)) return true;
   ++dropped_control_;
   return false;
 }
 
 bool DropAttack::should_relay_data(const olsr::DataMessage& data) {
-  (void)data;
   if (!active_ || !drop_data_) return true;
+  if (!targets(data.source)) return true;
+  if (!duty_tick()) return true;
   if (!rng_.bernoulli(drop_probability_)) return true;
   ++dropped_data_;
   return false;

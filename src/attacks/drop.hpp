@@ -1,15 +1,20 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "olsr/hooks.hpp"
 #include "sim/rng.hpp"
 
 namespace manet::attacks {
 
-/// Drop attacks (§II-B): a blackhole drops every message it should relay, a
-/// grayhole drops each with probability p. Both affect flooded control
-/// traffic and source-routed data (starving investigations of answers).
+/// Drop attacks (§II-B, and the Sen grayhole papers arXiv 1010.5176 /
+/// 1111.0385): a blackhole drops every message it should relay, a grayhole
+/// drops each with probability p — optionally only traffic from selected
+/// victims, or only during the "on" phase of a duty cycle. All modes affect
+/// flooded control traffic and source-routed data (starving investigations
+/// of answers).
 class DropAttack final : public olsr::AgentHooks {
  public:
   /// drop_probability = 1.0 is a blackhole; anything lower a grayhole.
@@ -23,18 +28,61 @@ class DropAttack final : public olsr::AgentHooks {
   void set_active(bool active) { active_ = active; }
   bool active() const { return active_; }
 
+  /// Victim-targeted mode: when non-empty, only messages *originated* by a
+  /// listed node (control) or *sourced* by one (data) are drop candidates —
+  /// everything else is relayed faithfully, which is what makes selective
+  /// grayholes hard to catch with aggregate counters alone.
+  void set_victims(std::vector<net::NodeId> victims) {
+    victims_ = std::move(victims);
+    std::sort(victims_.begin(), victims_.end());
+  }
+  const std::vector<net::NodeId>& victims() const { return victims_; }
+
+  /// On-off duty cycle, counted in relay decisions: drop-eligible for
+  /// `on` decisions, then faithful for `off`, repeating. Decision-counted
+  /// (not wall-clock) so the cycle is deterministic under any engine and
+  /// trivially checkpointable. Zero `on` or `off` disables cycling.
+  void set_duty_cycle(std::uint32_t on, std::uint32_t off) {
+    duty_on_ = on;
+    duty_off_ = off;
+    duty_pos_ = 0;
+  }
+
   bool should_forward(const olsr::Message& message) override;
   bool should_relay_data(const olsr::DataMessage& data) override;
 
   std::uint64_t dropped_control() const { return dropped_control_; }
   std::uint64_t dropped_data() const { return dropped_data_; }
 
+  /// Checkpoint surface: RNG stream plus the mutable decision state.
+  sim::Rng::State rng_state() const { return rng_.state(); }
+  std::uint32_t duty_position() const { return duty_pos_; }
+  void restore(sim::Rng::State rng, bool active, std::uint64_t dropped_control,
+               std::uint64_t dropped_data, std::uint32_t duty_pos) {
+    rng_.set_state(rng);
+    active_ = active;
+    dropped_control_ = dropped_control;
+    dropped_data_ = dropped_data;
+    duty_pos_ = duty_pos;
+  }
+
  private:
+  bool targets(net::NodeId origin) const {
+    return victims_.empty() ||
+           std::binary_search(victims_.begin(), victims_.end(), origin);
+  }
+  /// Advances the duty cycle one decision; true while in the "on" phase.
+  bool duty_tick();
+
   sim::Rng rng_;
   double drop_probability_;
   bool drop_control_;
   bool drop_data_;
   bool active_ = true;
+  std::vector<net::NodeId> victims_;  ///< sorted; empty = everyone
+  std::uint32_t duty_on_ = 0;
+  std::uint32_t duty_off_ = 0;
+  std::uint32_t duty_pos_ = 0;  ///< position within the on+off cycle
   std::uint64_t dropped_control_ = 0;
   std::uint64_t dropped_data_ = 0;
 };

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/investigation.hpp"
+#include "core/signatures_forwarding.hpp"
 #include "logging/audit_log.hpp"
 #include "logging/record.hpp"
 #include "sim/time.hpp"
@@ -45,7 +46,11 @@ struct AuditRound {
 ///             (feeds the liveness oracle of the conviction gate),
 ///  - kRound — one completed investigation round (feeds the Eq. 8-10
 ///             evidence evaluation and the trust updates),
-///  - kDecay — one idle-slot forgetting sweep (Fig. 2 semantics).
+///  - kDecay — one idle-slot forgetting sweep (Fig. 2 semantics),
+///  - kForwardAudit — one closed forwarding-audit window tally for an
+///             audited MPR (grayhole observability; convictions flow
+///             through kRound like every other attack, so this frame
+///             carries no trust updates on replay).
 /// The in-sim detector is one producer of this stream; a recorded binary
 /// audit log replayed by tools/manet_detect is another.
 struct AuditEvent {
@@ -53,6 +58,7 @@ struct AuditEvent {
   sim::Time time;
   logging::LogRecord line;  ///< kLine payload
   AuditRound round;         ///< kRound payload
+  ForwardAudit audit;       ///< kForwardAudit payload
 };
 
 }  // namespace manet::core

@@ -26,6 +26,7 @@ Detector::Detector(sim::Engine& sim, olsr::Agent& agent,
       config_{config},
       pipeline_{pipeline_config(agent.id(), config)},
       investigations_{investigations},
+      auditor_{agent.id(), config.audit},
       scan_timer_{sim, config.scan_interval, sim::Duration::from_ms(100),
                   [this] { scan_once(); }} {
   matcher_.add_signature(link_spoofing_claim_signature(config_.hello_window));
@@ -35,6 +36,9 @@ Detector::Detector(sim::Engine& sim, olsr::Agent& agent,
   matcher_.add_signature(drop_signature(config_.fwd_timeout +
                                         config_.scan_interval));
   matcher_.add_signature(mpr_replacement_signature());
+  // Gated so the spoofing suites' pinned signature set stays untouched.
+  if (config_.forwarding_audit)
+    matcher_.add_signature(forwarding_audit_signature());
 }
 
 void Detector::start() {
@@ -77,6 +81,7 @@ Detector::Persisted Detector::persist() const {
   const auto& pool = pipeline_.answer_pool();
   p.answer_pool.assign(pool.begin(), pool.end());
   p.degradation = pipeline_.degradation();
+  p.auditor = auditor_.persist();
   return p;
 }
 
@@ -91,6 +96,7 @@ void Detector::restore(Persisted p) {
   DetectionPipeline::AnswerPool pool;
   pool.insert(p.answer_pool.begin(), p.answer_pool.end());
   pipeline_.restore(std::move(pool), p.degradation);
+  auditor_.restore(p.auditor);
   // Rebuild the pipeline's liveness oracle from the restored log's retained
   // window — the same records the pre-checkpoint newest-first scan saw.
   next_feed_ = agent_.log().base_index();
@@ -138,6 +144,14 @@ std::size_t Detector::scan_once() {
   // Synthesize mpr_fwd_timeout records for E2 (drop) detection before
   // feeding the matcher, so the drop signature can fire.
   check_forward_timeouts(records);
+
+  // Forwarding audit (grayhole path): close expired flood windows, stream
+  // the tallies (observability frames), and synthesize fwd_audit_fail
+  // records so the matcher can fire on failing MPRs.
+  if (config_.forwarding_audit) {
+    for (const auto& tally : auditor_.sweep(sim_.now(), records))
+      pipeline_.consume_forward_audit(sim_.now(), tally);
+  }
 
   std::size_t launched = 0;
   process_records(records, launched);
@@ -232,6 +246,27 @@ void Detector::process_records(const std::vector<logging::LogRecord>& records,
           q, std::move(verifiers),
           [this, tags = std::vector<EvidenceTag>{
                      EvidenceTag::kE2MprMisbehaving}](const RoundResult& r) {
+            on_round_complete(r, tags);
+          });
+      ++launched;
+    } else if (m.signature == "forwarding_audit") {
+      // Grayhole: an audited WILL_ALWAYS MPR failed its forwarded/expected
+      // window. Same round shape as mpr_drop — the MPR implicitly claims it
+      // forwards — so the trust pipeline is reused verbatim.
+      const auto suspect = m.records[0].node_field("mpr");
+      if (in_cooldown(suspect, agent_.id())) continue;
+      LinkQuery q;
+      q.kind = QueryKind::kForwarding;
+      q.suspect = suspect;
+      q.subject = agent_.id();
+      q.claimed_up = true;
+      auto verifiers = believed_neighbors_of(suspect);
+      last_investigated_[{suspect, agent_.id()}] = sim_.now();
+      investigations_.investigate(
+          q, std::move(verifiers),
+          [this, tags = std::vector<EvidenceTag>{
+                     EvidenceTag::kE2MprMisbehaving,
+                     EvidenceTag::kSignatureMatch}](const RoundResult& r) {
             on_round_complete(r, tags);
           });
       ++launched;

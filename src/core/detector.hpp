@@ -9,6 +9,7 @@
 #include "core/investigation.hpp"
 #include "core/pipeline.hpp"
 #include "core/signature.hpp"
+#include "core/signatures_forwarding.hpp"
 #include "sim/timer.hpp"
 #include "trust/detection.hpp"
 #include "trust/trust_store.hpp"
@@ -46,6 +47,13 @@ struct DetectorConfig {
   /// long-dead nodes neither keep stale high trust nor stale suspicion.
   /// Off by default for trace stability.
   bool decay_unresponsive = false;
+  /// Grayhole path: audit whether WILL_ALWAYS MPRs re-forward third-party
+  /// floods (core/signatures_forwarding.hpp) and investigate failures
+  /// through the ordinary kForwarding round. Off by default so legacy
+  /// traces — and the signature set the spoofing suites pin — are
+  /// untouched.
+  bool forwarding_audit = false;
+  ForwardingAuditConfig audit;
 };
 
 /// The decision-side subset of a DetectorConfig — what a recorded audit
@@ -151,6 +159,7 @@ class Detector {
     std::vector<std::pair<std::pair<NodeId, NodeId>, std::vector<PooledAnswer>>>
         answer_pool;
     DetectorDegradation degradation;
+    ForwardingAuditor::Persisted auditor;
   };
   Persisted persist() const;
   void restore(Persisted p);
@@ -173,6 +182,7 @@ class Detector {
   DetectionPipeline pipeline_;
   InvestigationManager& investigations_;
   SignatureMatcher matcher_;
+  ForwardingAuditor auditor_;
   sim::PeriodicTimer scan_timer_;
 
   sim::Time last_scan_{};

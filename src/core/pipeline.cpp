@@ -39,6 +39,9 @@ void DetectionPipeline::consume(const AuditEvent& event) {
     case logging::AuditFrame::kDecay:
       consume_decay(event.time);
       break;
+    case logging::AuditFrame::kForwardAudit:
+      consume_forward_audit(event.time, event.audit);
+      break;
   }
 }
 
@@ -60,6 +63,13 @@ sim::Time DetectionPipeline::last_heard_of(NodeId node) const {
 void DetectionPipeline::consume_decay(sim::Time time) {
   if (recorder_) write_decay_frame(*recorder_, time);
   trust_.decay_all_idle();
+}
+
+void DetectionPipeline::consume_forward_audit(sim::Time time,
+                                              const ForwardAudit& audit) {
+  if (recorder_) write_forward_audit_frame(*recorder_, time, audit);
+  forward_audits_.push_back(TimedForwardAudit{time, audit});
+  if (forward_audits_.size() > 10'000) forward_audits_.pop_front();
 }
 
 void DetectionPipeline::restore(AnswerPool pool,
@@ -326,6 +336,18 @@ void write_decay_frame(logging::AuditWriter& writer, sim::Time time) {
   writer.end_frame();
 }
 
+void write_forward_audit_frame(logging::AuditWriter& writer, sim::Time time,
+                               const ForwardAudit& audit) {
+  writer.begin_frame(logging::AuditFrame::kForwardAudit);
+  writer.time(time);
+  writer.node(audit.mpr);
+  // Plain u64s, not count(): these are tallies, not element counts, so the
+  // reader must not bound them by the remaining payload bytes.
+  writer.u64(audit.expected);
+  writer.u64(audit.forwarded);
+  writer.end_frame();
+}
+
 namespace {
 
 AuditRound read_round_payload(logging::AuditReader& reader) {
@@ -373,6 +395,7 @@ bool AuditStreamReader::next(AuditEvent& out) {
   out.kind = frame.kind;
   out.line = {};
   out.round = {};
+  out.audit = {};
   switch (frame.kind) {
     case logging::AuditFrame::kLine:
       out.line = reader_.line();
@@ -384,6 +407,12 @@ bool AuditStreamReader::next(AuditEvent& out) {
       break;
     case logging::AuditFrame::kDecay:
       out.time = reader_.time();
+      break;
+    case logging::AuditFrame::kForwardAudit:
+      out.time = reader_.time();
+      out.audit.mpr = reader_.node();
+      out.audit.expected = reader_.u64();
+      out.audit.forwarded = reader_.u64();
       break;
   }
   reader_.end_frame(frame);

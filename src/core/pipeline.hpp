@@ -89,6 +89,23 @@ class DetectionPipeline {
   /// One idle-slot forgetting sweep over all known subjects (Fig. 2).
   void consume_decay(sim::Time time);
 
+  /// One closed forwarding-audit window tally (grayhole observability).
+  /// Deliberately touches no trust state: convictions ride the ordinary
+  /// kRound path, so recording/stripping these frames cannot change a
+  /// replayed verdict or trust trajectory.
+  void consume_forward_audit(sim::Time time, const ForwardAudit& audit);
+
+  /// One retained forwarding-audit tally with its stream time.
+  struct TimedForwardAudit {
+    sim::Time time;
+    ForwardAudit audit;
+  };
+  /// The retained tail of consumed kForwardAudit events (bounded ring,
+  /// mirrors reports()).
+  const std::deque<TimedForwardAudit>& forward_audits() const {
+    return forward_audits_;
+  }
+
   trust::TrustStore& trust_store() { return trust_; }
   const trust::TrustStore& trust_store() const { return trust_; }
 
@@ -135,6 +152,7 @@ class DetectionPipeline {
   AnswerPool answer_pool_;
   std::map<NodeId, sim::Time> last_heard_;
   std::deque<DetectionReport> reports_;
+  std::deque<TimedForwardAudit> forward_audits_;
   ReportCallback on_report_;
   DetectorDegradation degradation_;
   logging::AuditWriter* recorder_ = nullptr;
@@ -166,6 +184,9 @@ void write_round_frame(logging::AuditWriter& writer, sim::Time time,
                        const AuditRound& round);
 /// Appends one kDecay frame for an idle sweep.
 void write_decay_frame(logging::AuditWriter& writer, sim::Time time);
+/// Appends one kForwardAudit frame for a closed forwarding-audit window.
+void write_forward_audit_frame(logging::AuditWriter& writer, sim::Time time,
+                               const ForwardAudit& audit);
 
 /// Streaming decoder over a complete audit log (header + frames), e.g. an
 /// mmapped file. Every read is bounds-checked; corruption anywhere —

@@ -1,0 +1,145 @@
+#include "core/signatures_forwarding.hpp"
+
+#include <algorithm>
+
+namespace manet::core {
+namespace {
+
+bool contains(const std::vector<NodeId>& sorted, NodeId id) {
+  return std::binary_search(sorted.begin(), sorted.end(), id);
+}
+
+void insert_sorted(std::vector<NodeId>& sorted, NodeId id) {
+  auto it = std::lower_bound(sorted.begin(), sorted.end(), id);
+  if (it == sorted.end() || *it != id) sorted.insert(it, id);
+}
+
+}  // namespace
+
+void ForwardingAuditor::ingest(const logging::LogRecord& record) {
+  if (record.event == "hello_recv") {
+    // WILL_ALWAYS advertisement (§18.8 constant 7) marks the neighbor
+    // auditable: it is selected MPR unconditionally, so every fresh flood
+    // it hears obliges a re-broadcast.
+    const auto from = record.node_field("from");
+    if (record.int_field("will") == 7)
+      always_.insert(from);
+    else
+      always_.erase(from);
+  } else if (record.event == "mpr_changed") {
+    const auto mprs = record.node_list_field("mprs");
+    current_mprs_ = {mprs.begin(), mprs.end()};
+  } else if (record.event == "tc_recv") {
+    const auto orig = record.node_field("orig");
+    const auto via = record.node_field("via");
+    const auto seq = record.int_field("seq");
+    // First hearing of this flood opens a pending entry; any hearing
+    // credits the relaying transmitter.
+    bool known = false;
+    for (const auto& p : pending_)
+      if (p.orig == orig && p.seq == seq) {
+        known = true;
+        break;
+      }
+    if (!known) {
+      PendingFlood flood;
+      flood.orig = orig;
+      flood.seq = seq;
+      flood.first_heard = record.time;
+      for (auto mpr : current_mprs_)
+        // The audited set is frozen at first hearing so a later MPR-set
+        // change cannot shift blame mid-flood; the originator is exempt
+        // (its own emission is not a forward).
+        if (mpr != orig && always_.contains(mpr)) flood.audited.push_back(mpr);
+      pending_.push_back(std::move(flood));
+    }
+    if (via != orig) credit(orig, seq, via);
+  } else if (record.event == "fwd_echo") {
+    // Direct overhear of a neighbor re-broadcasting a third-party flood
+    // (olsr/agent logs these when Config::log_fwd_echo is set).
+    credit(record.node_field("orig"), record.int_field("seq"),
+           record.node_field("by"));
+  }
+}
+
+void ForwardingAuditor::credit(NodeId orig, std::int64_t seq, NodeId by) {
+  for (auto& p : pending_)
+    if (p.orig == orig && p.seq == seq) {
+      if (contains(p.audited, by)) insert_sorted(p.credited, by);
+      return;
+    }
+}
+
+std::vector<ForwardAudit> ForwardingAuditor::sweep(
+    sim::Time now, std::vector<logging::LogRecord>& records) {
+  for (const auto& record : records) ingest(record);
+
+  // Close every pending flood whose timeout has passed into the window
+  // counters (pending_ is in first-heard order, so the prefix suffices).
+  while (!pending_.empty() &&
+         pending_.front().first_heard + config_.flood_timeout <= now) {
+    const auto& flood = pending_.front();
+    for (auto mpr : flood.audited) {
+      auto& [expected, forwarded] = window_[mpr];
+      ++expected;
+      if (contains(flood.credited, mpr)) ++forwarded;
+    }
+    pending_.pop_front();
+  }
+
+  // Evaluate and reset the window; std::map iteration keeps the output
+  // MPR-sorted, which the determinism suites rely on.
+  std::vector<ForwardAudit> tallies;
+  tallies.reserve(window_.size());
+  for (const auto& [mpr, counters] : window_) {
+    const auto [expected, forwarded] = counters;
+    tallies.push_back(ForwardAudit{mpr, expected, forwarded});
+    if (expected >= config_.min_expected &&
+        static_cast<double>(forwarded) <
+            config_.fail_ratio * static_cast<double>(expected)) {
+      logging::LogRecord fail;
+      fail.time = now;
+      fail.node = self_;
+      fail.event = "fwd_audit_fail";
+      fail.with("mpr", mpr)
+          .with("expected", static_cast<std::int64_t>(expected))
+          .with("forwarded", static_cast<std::int64_t>(forwarded));
+      records.push_back(std::move(fail));
+    }
+  }
+  window_.clear();
+  return tallies;
+}
+
+ForwardingAuditor::Persisted ForwardingAuditor::persist() const {
+  Persisted p;
+  p.always = {always_.begin(), always_.end()};
+  p.current_mprs = {current_mprs_.begin(), current_mprs_.end()};
+  p.pending = {pending_.begin(), pending_.end()};
+  p.window.reserve(window_.size());
+  for (const auto& [mpr, counters] : window_)
+    p.window.push_back(ForwardAudit{mpr, counters.first, counters.second});
+  return p;
+}
+
+void ForwardingAuditor::restore(const Persisted& p) {
+  always_ = {p.always.begin(), p.always.end()};
+  current_mprs_ = {p.current_mprs.begin(), p.current_mprs.end()};
+  pending_ = {p.pending.begin(), p.pending.end()};
+  window_.clear();
+  for (const auto& audit : p.window)
+    window_[audit.mpr] = {audit.expected, audit.forwarded};
+}
+
+Signature forwarding_audit_signature() {
+  Signature sig;
+  sig.name = "forwarding_audit";
+  sig.window = sim::Duration::from_seconds(1.0);
+  sig.steps.resize(1);
+  sig.steps[0].pattern = {"fwd_audit_fail", [](const logging::LogRecord& r) {
+                            return r.event == "fwd_audit_fail";
+                          }};
+  return sig;
+}
+
+}  // namespace manet::core

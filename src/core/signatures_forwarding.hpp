@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/signature.hpp"
+#include "logging/record.hpp"
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace manet::core {
+
+using net::NodeId;
+
+/// Forwarding-audit signature family (the Sen grayhole papers, arXiv
+/// 1010.5176 / 1111.0385, run the same distributed-trust machinery against
+/// packet-dropping nodes): each node audits whether its MPR-selected
+/// WILL_ALWAYS neighbors actually re-forward the floods they accepted.
+/// The audit is log-derived like everything else the IDS consumes — it
+/// reads tc_recv / fwd_echo / mpr_changed / hello_recv records, never
+/// protocol state.
+
+/// Knobs of the per-window forwarded/expected audit.
+struct ForwardingAuditConfig {
+  /// A flood entry stays pending this long before it is tallied — the
+  /// audited MPR's jittered re-broadcast (<= 100 ms) must have landed by
+  /// then, with margin for a multi-hop detour.
+  sim::Duration flood_timeout = sim::Duration::from_seconds(2.0);
+  /// Minimum closed-entry count before a window can synthesize a failure
+  /// (transitional MPR-selector windows must not convict).
+  std::size_t min_expected = 3;
+  /// A window fails when forwarded < fail_ratio * expected.
+  double fail_ratio = 0.5;
+};
+
+/// One closed audit-window tally for an audited MPR: out of `expected`
+/// floods it accepted while selected, how many did the local log hear it
+/// re-forward. Travels the audit-event stream as a kForwardAudit frame.
+struct ForwardAudit {
+  NodeId mpr;
+  std::uint64_t expected = 0;
+  std::uint64_t forwarded = 0;
+};
+
+/// Streaming auditor over one node's parsed log records. Scope: only MPRs
+/// that advertise WILL_ALWAYS are audited on third-party floods — a
+/// WILL_ALWAYS node is selected MPR by *every* neighbor (RFC 3626 §8.3.1
+/// step 1), so it is obliged to re-forward any fresh flood it hears,
+/// which is exactly the inference a local log can make soundly. Default-
+/// willingness MPRs keep the existing own-TC E2 path (drop_signature);
+/// they are never audited here, so honest bystanders cannot fail a window.
+class ForwardingAuditor {
+ public:
+  explicit ForwardingAuditor(NodeId self, ForwardingAuditConfig config = {})
+      : self_{self}, config_{config} {}
+
+  const ForwardingAuditConfig& config() const { return config_; }
+
+  /// One scan sweep: ingests `records` (in time order), closes pending
+  /// flood entries older than flood_timeout into the window counters,
+  /// evaluates the window, and resets it. Failing MPRs get a synthesized
+  /// `fwd_audit_fail` record (mpr/expected/forwarded fields) appended to
+  /// `records` so the signature matcher can fire on them uniformly.
+  /// Returns every non-empty tally of the closed window, sorted by MPR.
+  std::vector<ForwardAudit> sweep(sim::Time now,
+                                  std::vector<logging::LogRecord>& records);
+
+  /// One flood awaiting the audited MPRs' re-broadcasts (public for
+  /// checkpointing).
+  struct PendingFlood {
+    NodeId orig;
+    std::int64_t seq = 0;
+    sim::Time first_heard{};
+    std::vector<NodeId> audited;  ///< sorted; WILL_ALWAYS MPRs at creation
+    std::vector<NodeId> credited;  ///< sorted subset heard re-forwarding
+  };
+
+  /// Checkpoint image: everything the log-derived audit state needs to
+  /// continue byte-identically after a restore.
+  struct Persisted {
+    std::vector<NodeId> always;
+    std::vector<NodeId> current_mprs;
+    std::vector<PendingFlood> pending;
+    std::vector<ForwardAudit> window;
+  };
+  Persisted persist() const;
+  void restore(const Persisted& p);
+
+ private:
+  void ingest(const logging::LogRecord& record);
+  void credit(NodeId orig, std::int64_t seq, NodeId by);
+
+  NodeId self_;
+  ForwardingAuditConfig config_;
+  std::set<NodeId> always_;        ///< neighbors advertising WILL_ALWAYS
+  std::set<NodeId> current_mprs_;  ///< our MPR set, from mpr_changed
+  std::deque<PendingFlood> pending_;
+  /// Window counters per audited MPR: {expected, forwarded}.
+  std::map<NodeId, std::pair<std::uint64_t, std::uint64_t>> window_;
+};
+
+/// One-step signature over the synthesized fwd_audit_fail records, so
+/// forwarding-audit failures are matched uniformly with the other attack
+/// signatures (mirrors how drop_signature consumes mpr_fwd_timeout).
+Signature forwarding_audit_signature();
+
+}  // namespace manet::core

@@ -510,6 +510,27 @@ void encode_detector(CheckpointWriter& w, const core::Detector& detector) {
     }
   }
   w.u64(p.degradation.suppressed_convictions);
+  const auto& auditor = p.auditor;
+  w.count(auditor.always.size());
+  for (const auto n : auditor.always) w.node(n);
+  w.count(auditor.current_mprs.size());
+  for (const auto n : auditor.current_mprs) w.node(n);
+  w.count(auditor.pending.size());
+  for (const auto& flood : auditor.pending) {
+    w.node(flood.orig);
+    w.i64(flood.seq);
+    w.time(flood.first_heard);
+    w.count(flood.audited.size());
+    for (const auto n : flood.audited) w.node(n);
+    w.count(flood.credited.size());
+    for (const auto n : flood.credited) w.node(n);
+  }
+  w.count(auditor.window.size());
+  for (const auto& tally : auditor.window) {
+    w.node(tally.mpr);
+    w.u64(tally.expected);
+    w.u64(tally.forwarded);
+  }
   encode_trust(w, detector.trust_store());
 }
 
@@ -546,6 +567,27 @@ void decode_detector(CheckpointReader& r, core::Detector& detector) {
     }
   }
   p.degradation.suppressed_convictions = r.u64();
+  auto& auditor = p.auditor;
+  auditor.always.resize(r.count());
+  for (auto& n : auditor.always) n = r.node();
+  auditor.current_mprs.resize(r.count());
+  for (auto& n : auditor.current_mprs) n = r.node();
+  auditor.pending.resize(r.count());
+  for (auto& flood : auditor.pending) {
+    flood.orig = r.node();
+    flood.seq = r.i64();
+    flood.first_heard = r.time();
+    flood.audited.resize(r.count());
+    for (auto& n : flood.audited) n = r.node();
+    flood.credited.resize(r.count());
+    for (auto& n : flood.credited) n = r.node();
+  }
+  auditor.window.resize(r.count());
+  for (auto& tally : auditor.window) {
+    tally.mpr = r.node();
+    tally.expected = r.u64();
+    tally.forwarded = r.u64();
+  }
   detector.restore(std::move(p));
   decode_trust(r, detector.trust_store());
 }

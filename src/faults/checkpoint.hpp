@@ -20,9 +20,10 @@ namespace manet::faults {
 /// the snapshot is a byte-exact state image, so any layout change (a new
 /// field, a reordered table) bumps the version and invalidates old files.
 /// There is deliberately no migration path: checkpoints are short-lived
-/// run artifacts, not archival data.
+/// run artifacts, not archival data. Version 2 added the detector's
+/// forwarding-audit state and the per-attack-kind experiment payload.
 inline constexpr std::uint32_t kCheckpointMagic = 0x43544E4Du;  // "MNTC"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Thrown on malformed, truncated or version-mismatched snapshots.
 struct CheckpointError : std::runtime_error {

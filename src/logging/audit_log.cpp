@@ -90,7 +90,7 @@ AuditReader::FrameHeader AuditReader::begin_frame() {
   FrameHeader frame;
   const auto kind = u8();
   if (kind < static_cast<std::uint8_t>(AuditFrame::kLine) ||
-      kind > static_cast<std::uint8_t>(AuditFrame::kDecay))
+      kind > static_cast<std::uint8_t>(AuditFrame::kForwardAudit))
     throw AuditError{"unknown audit frame kind " + std::to_string(kind)};
   frame.kind = static_cast<AuditFrame>(kind);
   const std::uint32_t size = u32();

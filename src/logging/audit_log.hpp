@@ -14,9 +14,10 @@ namespace manet::logging {
 /// version. Same compatibility rule as the checkpoint codec
 /// (faults/checkpoint.hpp): a reader accepts exactly its own version —
 /// the stream is a byte-exact replay input, so any frame-layout change
-/// bumps the version and invalidates old files.
+/// bumps the version and invalidates old files. Version 2 added the
+/// kForwardAudit frame kind (forwarding-audit grayhole detection).
 inline constexpr std::uint32_t kAuditMagic = 0x41544E4Du;  // "MNTA"
-inline constexpr std::uint32_t kAuditVersion = 1;
+inline constexpr std::uint32_t kAuditVersion = 2;
 
 /// Thrown on malformed, truncated or version-mismatched audit logs.
 struct AuditError : std::runtime_error {
@@ -31,6 +32,10 @@ enum class AuditFrame : std::uint8_t {
   kLine = 1,   ///< one audit-log line of the node's routing daemon
   kRound = 2,  ///< one completed investigation round (core codec)
   kDecay = 3,  ///< one idle-slot trust decay sweep (core codec)
+  /// One closed forwarding-audit window tally for an audited MPR (core
+  /// codec; observability of the grayhole producer — carries no trust
+  /// updates on replay).
+  kForwardAudit = 4,
 };
 
 /// Little-endian binary writer backing the audit-log format; fixed-width

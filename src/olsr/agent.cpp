@@ -413,6 +413,17 @@ void Agent::process_tc(const Message& m, NodeId transmitter) {
   if (!tc) return;
   // §9.5 rule 1: discard unless the sender interface is a symmetric neighbor.
   if (!links_.is_symmetric(sim_.now(), transmitter)) return;
+  // Forwarding-audit raw material: a neighbor re-broadcasting somebody
+  // else's TC is direct evidence it forwards. Logged before the duplicate
+  // check — re-hearings of an already-seen flood are exactly the MPR
+  // re-broadcasts the audit credits, and they produce no tc_recv record.
+  if (config_.log_fwd_echo && transmitter != m.header.originator) {
+    auto echo = make_record("fwd_echo");
+    echo.with("by", transmitter)
+        .with("orig", m.header.originator)
+        .with("seq", static_cast<std::int64_t>(m.header.seq_num));
+    log_.append(std::move(echo));
+  }
   if (duplicates_.seen(m.header.originator, m.header.seq_num)) {
     maybe_forward(m, transmitter);
     return;

@@ -87,6 +87,12 @@ class Agent {
     /// is observationally identical to Medium::broadcast, and enrollment
     /// never draws or schedules.
     bool batched_floods = true;
+    /// Log an fwd_echo record (by/orig/seq) whenever a neighbor is heard
+    /// re-broadcasting a *third-party* flood — the raw material of the
+    /// forwarding audit (core/signatures_forwarding.hpp). Off by default:
+    /// the record is chatty and the golden spoofing traces pin logs that
+    /// never contained it.
+    bool log_fwd_echo = false;
     std::size_t log_capacity = 100'000;
   };
 

@@ -59,6 +59,8 @@ scenario::TrustExperiment::Config ReplicationTask::to_config() const {
   cfg.num_liars = point.num_liars();
   cfg.seed = seed;
   cfg.rounds = rounds;
+  cfg.attack = attack;
+  cfg.drop_fraction = drop_fraction;
   cfg.radio_loss = preset_loss_probability(point.mobility);
   cfg.engine = engine;
   cfg.engine_threads = engine_threads;
@@ -103,6 +105,8 @@ std::vector<ReplicationTask> ExperimentSpec::expand() const {
       task.point = points[p];
       task.seed = seed;
       task.rounds = rounds;
+      task.attack = attack;
+      task.drop_fraction = drop_fraction;
       task.engine = engine;
       task.shards = shards;
       task.chaos = chaos;
@@ -197,6 +201,7 @@ ReplicationResult run_replication(const ReplicationTask& task,
   result.final_verdict = last.verdict;
   result.final_detect = last.detect;
   result.final_margin = last.margin;
+  result.false_convictions = last.false_convictions;
   result.attacker_trust = last.trust[exp.attacker()];
 
   stats::RunningStats liar_trust, honest_trust;

@@ -46,6 +46,13 @@ struct ReplicationTask {
   GridPoint point;
   std::uint64_t seed = 1;
   int rounds = 12;
+  /// Attack family for this replication. Rides the task, not GridPoint:
+  /// a sweep is either all-spoof or all-grayhole, and keeping it off the
+  /// grid keeps the aggregator's pinned CSV headers untouched.
+  scenario::TrustExperiment::AttackKind attack =
+      scenario::TrustExperiment::AttackKind::kSpoof;
+  /// Grayhole drop probability (kGrayhole only): 1.0 = blackhole.
+  double drop_fraction = 1.0;
   /// Engine driving this replication. Sharded results are invariant to
   /// engine_threads and shards (the psim determinism contract), so the
   /// Runner is free to rewrite those two for load-balancing without
@@ -97,6 +104,10 @@ struct ReplicationResult {
   int reconverge_rounds = -1;
   /// Safety-rule violations flagged by the invariant checker (should be 0).
   std::uint64_t invariant_violations = 0;
+  /// Cumulative kIntruder verdicts against honest nodes (grayhole and
+  /// faulted runs; 0 on pristine spoof runs). manet_experiments exits 3
+  /// when a grayhole sweep records any.
+  std::uint64_t false_convictions = 0;
 };
 
 /// Declarative description of a full sweep: the cartesian grid
@@ -107,6 +118,11 @@ struct ExperimentSpec {
   std::vector<double> attacker_fractions{0.25};
   std::vector<MobilityPreset> mobility_presets{MobilityPreset::kStatic};
   int rounds = 12;
+  /// Attack family for every replication (see ReplicationTask::attack).
+  scenario::TrustExperiment::AttackKind attack =
+      scenario::TrustExperiment::AttackKind::kSpoof;
+  /// Grayhole drop probability (kGrayhole only).
+  double drop_fraction = 1.0;
   /// Engine for every replication of the sweep (--engine on the CLI). The
   /// Runner decides intra- vs inter-replication parallelism; see
   /// Runner::run.

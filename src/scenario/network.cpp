@@ -41,8 +41,12 @@ Network::Network(Config config)
   for (std::size_t i = 0; i < n; ++i) {
     const auto id = id_of(i);
     medium_.attach(id, config_.positions[i]);
+    const auto override_it = config_.agent_overrides.find(i);
+    const auto& agent_config = override_it != config_.agent_overrides.end()
+                                   ? override_it->second
+                                   : config_.agent;
     agents_.push_back(std::make_unique<olsr::Agent>(engine_for(i), medium_,
-                                                    id, config_.agent));
+                                                    id, agent_config));
     investigations_.push_back(std::make_unique<core::InvestigationManager>(
         engine_for(i), *agents_.back(), config_.investigation));
   }

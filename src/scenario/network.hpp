@@ -1,6 +1,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,10 @@ class Network {
     net::RadioConfig radio;
     std::vector<net::Position> positions;
     olsr::Agent::Config agent;
+    /// Per-node overrides of `agent` (keyed by node index): grayhole
+    /// scenarios give the attacker WILL_ALWAYS and the investigator
+    /// log_fwd_echo without perturbing the rest of the fleet.
+    std::map<std::size_t, olsr::Agent::Config> agent_overrides;
     core::InvestigationConfig investigation;
     /// Discrete-event engine driving the network: the sequential Simulator
     /// (default; byte-stable legacy traces) or the psim sharded parallel

@@ -59,26 +59,53 @@ void TrustExperiment::build_network() {
     throw std::invalid_argument{
         "checkpointable runs require the sequential engine"};
 
+  const bool grayhole = config_.attack == AttackKind::kGrayhole;
+
   Network::Config nc;
   nc.seed = config_.seed;
-  // A compact cluster: every node within radio range of every other, so all
-  // n-2 bystanders are 1-hop neighbors of the attacker (the S1..Sm of the
-  // paper) and answer its investigations first-hand.
   nc.radio.range_m = 250.0;
   nc.radio.loss_probability = config_.radio_loss;
-  nc.positions = net::grid_layout(config_.num_nodes, 50.0);
+  if (grayhole) {
+    // Multi-hop grid (spacing 150 m, range 250 m: 8-adjacency): drops must
+    // matter, and in a full mesh nobody selects MPRs — §9.3 then emits no
+    // TCs at all and a grayhole is invisible. The attacker's WILL_ALWAYS
+    // makes it an MPR of every neighbor (§8.3.1 step 1), obliging it to
+    // re-forward every fresh flood — exactly what the audit checks.
+    nc.positions = net::grid_layout(config_.num_nodes, 150.0);
+    auto attacker_config = nc.agent;
+    attacker_config.willingness = olsr::Willingness::kAlways;
+    nc.agent_overrides[1] = attacker_config;
+    auto investigator_config = nc.agent;
+    investigator_config.log_fwd_echo = true;
+    nc.agent_overrides[0] = investigator_config;
+  } else {
+    // A compact cluster: every node within radio range of every other, so
+    // all n-2 bystanders are 1-hop neighbors of the attacker (the S1..Sm of
+    // the paper) and answer its investigations first-hand.
+    nc.positions = net::grid_layout(config_.num_nodes, 50.0);
+  }
   nc.investigation = config_.investigation;
   nc.engine = config_.engine;
   nc.engine_threads = config_.engine_threads;
   nc.shards = config_.shards;
   network_ = std::make_unique<Network>(nc);
 
-  // Attacker (node 1) advertises the phantom / forged link.
-  std::set<NodeId> targets{phantom_};
-  auto spoof = std::make_unique<attacks::LinkSpoofingAttack>(config_.mode,
-                                                             targets);
-  spoof_ = spoof.get();
-  network_->set_hooks(1, std::move(spoof));
+  if (grayhole) {
+    // Attacker (node 1) drops the floods its WILL_ALWAYS advertisement
+    // attracted. Its RNG stream is derived from the seed, independent of
+    // the network's.
+    auto drop = std::make_unique<attacks::DropAttack>(
+        sim::Rng{config_.seed ^ 0x6D40BEEFULL}, config_.drop_fraction);
+    drop_ = drop.get();
+    network_->set_hooks(1, std::move(drop));
+  } else {
+    // Attacker (node 1) advertises the phantom / forged link.
+    std::set<NodeId> targets{phantom_};
+    auto spoof = std::make_unique<attacks::LinkSpoofingAttack>(config_.mode,
+                                                               targets);
+    spoof_ = spoof.get();
+    network_->set_hooks(1, std::move(spoof));
+  }
 
   // Choose the liars among the bystanders (nodes 2..n-1), deterministically
   // from the seed.
@@ -107,6 +134,7 @@ void TrustExperiment::build_network() {
     dc.liveness_window = config_.liveness_window;
     dc.decay_unresponsive = true;
   }
+  if (grayhole) dc.forwarding_audit = true;
   detector_ = &network_->add_detector(0, dc);
 
   // Random initial trust (the paper: "Initially, we randomly set the trust
@@ -201,6 +229,8 @@ core::DetectionReport TrustExperiment::run_investigation(
 }
 
 TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
+  if (config_.attack == AttackKind::kGrayhole) return run_grayhole_round();
+
   RoundSnapshot snap;
   snap.round = ++round_counter_;
 
@@ -216,6 +246,70 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
   snap.at = network_->now();
   if (invariants_) invariants_->check_conviction(network_->now(), report);
 
+  for (std::size_t i = 1; i < config_.num_nodes; ++i) {
+    const auto id = Network::id_of(i);
+    snap.trust[id] = detector_->trust_store().trust(id);
+  }
+  return snap;
+}
+
+TrustExperiment::RoundSnapshot TrustExperiment::run_grayhole_round() {
+  RoundSnapshot snap;
+  snap.round = ++round_counter_;
+
+  // Detection is scan-driven, not claim-driven: pad to the round's 5 s
+  // slot so third-party floods accumulate (and the attacker drops its
+  // share), then run one scan over the investigator's log growth.
+  const auto slot_end = sim::Time::from_seconds(
+      15.0 + 5.0 * static_cast<double>(round_counter_));
+  if (network_->now() < slot_end) drive(slot_end - network_->now());
+
+  core::DetectionReport attacker_report;
+  bool have_attacker_report = false;
+  detector_->set_report_callback([&](const core::DetectionReport& r) {
+    if (r.suspect == attacker()) {
+      attacker_report = r;
+      have_attacker_report = true;
+    } else if (r.verdict == trust::Verdict::kIntruder) {
+      // Any conviction of a bystander is a false conviction — the audit's
+      // WILL_ALWAYS scoping is supposed to make these impossible.
+      ++false_convictions_;
+    }
+    if (invariants_) invariants_->check_conviction(network_->now(), r);
+  });
+  std::size_t launched = 0;
+  const auto audits_before = detector_->pipeline().forward_audits().size();
+  network_->run_as(0, [&] { launched = detector_->scan_once(); });
+
+  // Drive until every launched investigation lands (bounded wait).
+  const auto outstanding = [&] {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < config_.num_nodes; ++i)
+      n += network_->investigations(i).outstanding();
+    return n;
+  };
+  const auto deadline = network_->now() + sim::Duration::from_seconds(60.0);
+  while (outstanding() != 0 && network_->now() < deadline)
+    drive(sim::Duration::from_ms(250));
+  detector_->set_report_callback({});
+  if (outstanding() != 0)
+    throw std::runtime_error{"grayhole round investigations never completed"};
+
+  if (have_attacker_report) {
+    snap.detect = attacker_report.detect;
+    snap.verdict = attacker_report.verdict;
+    snap.margin = attacker_report.interval.margin;
+  }
+  snap.at = network_->now();
+  snap.investigations = launched;
+  // Delta, not deque size: the forward-audit ring (like the report ring)
+  // is skipped by the checkpoint surface, so per-round telemetry must not
+  // read its absolute length.
+  snap.audits = detector_->pipeline().forward_audits().size() - audits_before;
+  snap.dropped_control = drop_ ? drop_->dropped_control() : 0;
+  snap.false_convictions = false_convictions_;
+  snap.suppressed = detector_->degradation().suppressed_convictions;
+  snap.converged = network_->converged();
   for (std::size_t i = 1; i < config_.num_nodes; ++i) {
     const auto id = Network::id_of(i);
     snap.trust[id] = detector_->trust_store().trust(id);
@@ -298,7 +392,8 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_idle_round() {
 }
 
 void TrustExperiment::cease_attack() {
-  spoof_->set_active(false);
+  if (spoof_) spoof_->set_active(false);
+  if (drop_) drop_->set_active(false);
   for (auto liar : liars_) {
     // Former liars answer honestly once the collusion ends.
     for (std::size_t i = 0; i < config_.num_nodes; ++i) {
@@ -345,8 +440,19 @@ std::vector<std::uint8_t> TrustExperiment::save_checkpoint() {
     faults::encode_investigations(w, network_->investigations(i));
   }
   faults::encode_detector(w, *detector_);
-  w.boolean(spoof_->active());
-  w.u64(spoof_->forged_count());
+  // Per-attack-kind payload (checkpoint v2): the kind byte pins the layout
+  // so a config/bytes mismatch is a clean error, not a misparse.
+  w.u8(static_cast<std::uint8_t>(config_.attack));
+  if (drop_) {
+    w.boolean(drop_->active());
+    faults::encode_rng(w, drop_->rng_state());
+    w.u64(drop_->dropped_control());
+    w.u64(drop_->dropped_data());
+    w.u32(drop_->duty_position());
+  } else {
+    w.boolean(spoof_->active());
+    w.u64(spoof_->forged_count());
+  }
   w.boolean(injector_ != nullptr);
   if (injector_) {
     w.u64(injector_->cursor());
@@ -449,8 +555,19 @@ void TrustExperiment::apply_restored(const std::vector<std::uint8_t>& bytes) {
   }
 
   faults::decode_detector(r, *detector_);
-  spoof_->set_active(r.boolean());
-  spoof_->restore_forged(r.u64());
+  if (r.u8() != static_cast<std::uint8_t>(config_.attack))
+    throw faults::CheckpointError{"checkpoint attack kind mismatch"};
+  if (drop_) {
+    const bool active = r.boolean();
+    const auto rng = faults::decode_rng(r);
+    const auto dropped_control = r.u64();
+    const auto dropped_data = r.u64();
+    const auto duty_pos = r.u32();
+    drop_->restore(rng, active, dropped_control, dropped_data, duty_pos);
+  } else {
+    spoof_->set_active(r.boolean());
+    spoof_->restore_forged(r.u64());
+  }
 
   const bool has_injector = r.boolean();
   if (has_injector != (injector_ != nullptr))

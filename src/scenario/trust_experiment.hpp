@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "attacks/drop.hpp"
 #include "attacks/link_spoofing.hpp"
 #include "faults/fault_plan.hpp"
 #include "faults/injector.hpp"
@@ -25,6 +26,18 @@ namespace manet::scenario {
 /// Eq. 8 Detect value after every round.
 class TrustExperiment {
  public:
+  /// Which misbehaviour node 1 runs.
+  enum class AttackKind {
+    /// The paper's link spoofing: full-mesh cluster, forged HELLOs, one
+    /// investigator-driven claim investigation per round.
+    kSpoof,
+    /// Grayhole (Sen papers): multi-hop grid, node 1 advertises
+    /// WILL_ALWAYS (so it is everyone's MPR, §8.3.1 step 1) and drops the
+    /// floods it attracted with probability drop_fraction; detection is
+    /// scan-driven through the forwarding audit.
+    kGrayhole,
+  };
+
   struct Config {
     std::size_t num_nodes = 16;   ///< incl. attacker and investigator
     std::size_t num_liars = 4;    ///< the paper's 26.3%
@@ -40,6 +53,11 @@ class TrustExperiment {
     double radio_loss = 0.0;
     attacks::LinkSpoofingAttack::Mode mode =
         attacks::LinkSpoofingAttack::Mode::kAddNonExistent;
+    /// Attack family; kSpoof preserves the legacy behaviour (and the
+    /// golden traces) exactly.
+    AttackKind attack = AttackKind::kSpoof;
+    /// Grayhole drop probability (kGrayhole only): 1.0 = blackhole.
+    double drop_fraction = 1.0;
     /// Engine driving the replication (see Network::Config): sequential by
     /// default; kSharded runs the psim parallel engine, whose results are
     /// identical for any `engine_threads` / `shards` value.
@@ -88,6 +106,10 @@ class TrustExperiment {
     std::uint64_t false_convictions = 0;
     /// Up-aware control-plane convergence at round end.
     bool converged = false;
+    // --- grayhole telemetry (zeros on spoof runs) ---
+    std::size_t investigations = 0;  ///< launched by this round's scan
+    std::size_t audits = 0;  ///< forwarding-audit tallies this round streamed
+    std::uint64_t dropped_control = 0;  ///< attacker's cumulative drops
   };
 
   explicit TrustExperiment(Config config);
@@ -96,8 +118,16 @@ class TrustExperiment {
   /// Builds the network, lets OLSR converge, activates the attack.
   void setup();
 
-  /// One investigation round (the attack stays active).
+  /// One investigation round (the attack stays active). Spoof runs
+  /// investigate the forged claim directly; grayhole runs dispatch to
+  /// run_grayhole_round (scan-driven detection).
   RoundSnapshot run_round();
+
+  /// One grayhole round: drive to the round's 5 s slot (floods accumulate,
+  /// the attacker drops), run one detector scan in the investigator's
+  /// context, wait for every launched investigation to land, and count any
+  /// conviction of a non-attacker as a false conviction.
+  RoundSnapshot run_grayhole_round();
 
   /// One faulted round: the regular attacker investigation plus a
   /// false-conviction probe of the lowest-id down bystander (a crashed,
@@ -127,6 +157,8 @@ class TrustExperiment {
 
   Network& network() { return *network_; }
   core::Detector& detector() { return *detector_; }
+  /// The grayhole hooks on node 1 (null on spoof runs).
+  attacks::DropAttack* drop_attack() { return drop_; }
 
   /// The recorded audit-log bytes so far (empty unless
   /// Config::record_audit). Complete at any round boundary — the format is
@@ -183,7 +215,8 @@ class TrustExperiment {
   std::unique_ptr<logging::AuditWriter> audit_writer_;
   std::unique_ptr<Network> network_;
   core::Detector* detector_ = nullptr;
-  attacks::LinkSpoofingAttack* spoof_ = nullptr;
+  attacks::LinkSpoofingAttack* spoof_ = nullptr;  ///< null on grayhole runs
+  attacks::DropAttack* drop_ = nullptr;           ///< null on spoof runs
   std::unique_ptr<faults::FaultInjector> injector_;
   std::unique_ptr<faults::InvariantChecker> invariants_;
   NodeId phantom_;

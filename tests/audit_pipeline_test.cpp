@@ -200,6 +200,104 @@ TEST(AuditWire, RejectsPayloadSizeMismatch) {
   expect_whole_stream_throws(log);
 }
 
+// --- kForwardAudit frame (format version 2) -------------------------------
+
+std::vector<std::uint8_t> forward_audit_log() {
+  AuditWriter w;
+  AuditHeader header;
+  header.config = sample_config();
+  core::write_audit_header(w, header);
+  // Tallies are plain u64s, not count(): values far beyond any plausible
+  // payload size must survive the round trip.
+  core::write_forward_audit_frame(
+      w, sim::Time::from_ms(2500),
+      core::ForwardAudit{NodeId{9}, (1ull << 40) + 7, 1ull << 33});
+  core::write_forward_audit_frame(w, sim::Time::from_ms(3500),
+                                  core::ForwardAudit{NodeId{2}, 5, 0});
+  return w.take();
+}
+
+TEST(AuditWire, ForwardAuditFrameRoundTrips) {
+  AuditStreamReader stream{forward_audit_log()};
+  AuditEvent event;
+  ASSERT_TRUE(stream.next(event));
+  EXPECT_EQ(event.kind, AuditFrame::kForwardAudit);
+  EXPECT_EQ(event.time.us(), sim::Time::from_ms(2500).us());
+  EXPECT_EQ(event.audit.mpr, NodeId{9});
+  EXPECT_EQ(event.audit.expected, (1ull << 40) + 7);
+  EXPECT_EQ(event.audit.forwarded, 1ull << 33);
+  ASSERT_TRUE(stream.next(event));
+  EXPECT_EQ(event.kind, AuditFrame::kForwardAudit);
+  EXPECT_EQ(event.audit.mpr, NodeId{2});
+  EXPECT_EQ(event.audit.expected, 5u);
+  EXPECT_EQ(event.audit.forwarded, 0u);
+  EXPECT_FALSE(stream.next(event));
+}
+
+TEST(AuditWire, ForwardAuditReEncodesByteIdentically) {
+  // Decode-then-re-encode reproduces the original bytes exactly — the
+  // frame codec is a bijection, so record/replay cannot drift.
+  const auto bytes = forward_audit_log();
+  AuditStreamReader stream{bytes};
+  AuditWriter w;
+  AuditHeader header;
+  header.config = sample_config();
+  core::write_audit_header(w, header);
+  AuditEvent event;
+  while (stream.next(event)) {
+    ASSERT_EQ(event.kind, AuditFrame::kForwardAudit);
+    core::write_forward_audit_frame(w, event.time, event.audit);
+  }
+  EXPECT_EQ(w.take(), bytes);
+}
+
+TEST(AuditWire, ForwardAuditTruncationRejectedAtEveryLength) {
+  const auto bytes = forward_audit_log();
+  std::vector<std::size_t> frame_boundaries;
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+    bool threw = false;
+    std::size_t frames = 0;
+    try {
+      AuditStreamReader stream{prefix};
+      AuditEvent event;
+      while (stream.next(event)) ++frames;
+    } catch (const AuditError&) {
+      threw = true;
+    }
+    if (!threw) {
+      EXPECT_LT(frames, 2u) << "prefix length " << len;
+      frame_boundaries.push_back(len);
+    }
+  }
+  // Exactly the header end and the first frame's end parse cleanly;
+  // every cut inside a kForwardAudit frame throws.
+  EXPECT_EQ(frame_boundaries.size(), 2u);
+}
+
+TEST(AuditWire, ForwardAuditVersionSkewRejected) {
+  // Version 2 introduced the frame kind; the reader's exact-version rule
+  // means a v3-stamped log is rejected outright, never half-parsed.
+  auto bytes = forward_audit_log();
+  bytes[4] += 1;  // version field, little-endian low byte
+  expect_whole_stream_throws(bytes);
+}
+
+TEST(AuditWire, ForwardAuditCarriesNoTrustUpdate) {
+  // Structural replay guarantee: consuming kForwardAudit frames moves no
+  // trust and emits no report — convictions flow only through kRound, so
+  // record/replay verdict CSVs cannot diverge on audit traffic.
+  AuditStreamReader stream{forward_audit_log()};
+  auto pipeline = core::pipeline_from_header(stream.header());
+  const auto before = core::trust_csv(pipeline.trust_store());
+  AuditEvent event;
+  while (stream.next(event)) pipeline.consume(event);
+  EXPECT_EQ(core::trust_csv(pipeline.trust_store()), before);
+  EXPECT_TRUE(pipeline.reports().empty());
+  ASSERT_EQ(pipeline.forward_audits().size(), 2u);
+  EXPECT_EQ(pipeline.forward_audits()[0].audit.mpr, NodeId{9});
+}
+
 TEST(AuditWire, PipelineFromHeaderRestoresTrustSnapshot) {
   AuditHeader header;
   header.config = sample_config();

@@ -93,6 +93,36 @@ TEST(Format, ParseLogSkipsBlankLines) {
   EXPECT_EQ(records.size(), 2u);
 }
 
+TEST(Format, ForwardingAuditRecordsRoundTrip) {
+  // The forwarding-audit records introduced with audit-log version 2:
+  // fwd_echo (agent overhears an MPR re-broadcast) and fwd_audit_fail
+  // (synthesized by the auditor's sweep). Both must survive the canonical
+  // text format, since manet_parse replays logs through it.
+  LogRecord echo;
+  echo.time = sim::Time::from_seconds(21.5);
+  echo.node = NodeId{0};
+  echo.event = "fwd_echo";
+  echo.with("by", NodeId{1}).with("orig", NodeId{5}).with("seq",
+                                                          std::int64_t{1040});
+  auto back = parse_record(format_record(echo));
+  EXPECT_EQ(back.node_field("by"), NodeId{1});
+  EXPECT_EQ(back.node_field("orig"), NodeId{5});
+  EXPECT_EQ(back.int_field("seq"), 1040);
+
+  LogRecord fail;
+  fail.time = sim::Time::from_seconds(25.0);
+  fail.node = NodeId{0};
+  fail.event = "fwd_audit_fail";
+  fail.with("mpr", NodeId{1})
+      .with("expected", std::int64_t{6})
+      .with("forwarded", std::int64_t{0});
+  back = parse_record(format_record(fail));
+  EXPECT_EQ(back.event, "fwd_audit_fail");
+  EXPECT_EQ(back.node_field("mpr"), NodeId{1});
+  EXPECT_EQ(back.int_field("expected"), 6);
+  EXPECT_EQ(back.int_field("forwarded"), 0);
+}
+
 TEST(Format, NegativeTimeRejected) {
   // Times are since simulation start; "-1.000000s" must not parse.
   EXPECT_THROW(parse_record("t=-1.000000s node=n1 event=x"),

@@ -7,8 +7,9 @@
 // serial-fraction counters), and the fault-subsystem checkpoint codec
 // (save/restore throughput at 256 and 1024 nodes), plus the audit-event
 // detection pipeline (in-memory consume and binary-log replay at 256 and
-// 1024 peer streams) — with repeated runs and median aggregates, and
-// writes the results to BENCH_8.json: the current point of this repo's
+// 1024 peer streams, the kForwardAudit frame path, and the end-to-end
+// grayhole detection round) — with repeated runs and median aggregates, and
+// writes the results to BENCH_9.json: the current point of this repo's
 // recorded perf trajectory (see docs/BENCHMARKING.md for the whole series
 // and its comparability rules; tools/bench_diff.py prints median deltas
 // between consecutive BENCH_N files).
@@ -25,7 +26,7 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args = {
       argv[0],
-      "--benchmark_out=BENCH_8.json",
+      "--benchmark_out=BENCH_9.json",
       "--benchmark_out_format=json",
       "--benchmark_repetitions=5",
       "--benchmark_report_aggregates_only=true",
@@ -36,7 +37,8 @@ int main(int argc, char** argv) {
       "BM_SequentialWindows|BM_ShardedWindows|"
       "BM_TrustUpdateLarge|BM_TrustDecayAllLarge|"
       "BM_CheckpointSave|BM_CheckpointRestore|"
-      "BM_DetectConsume|BM_AuditReplay|BM_AuditDecode",
+      "BM_DetectConsume|BM_AuditReplay|BM_AuditDecode|"
+      "BM_ForwardAuditConsume|BM_GrayholeRound",
   };
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
 

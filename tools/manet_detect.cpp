@@ -47,6 +47,8 @@ record options (live run with audit recording)
   --liars N         colluding liars among the bystanders (default 4)
   --rounds N        attack investigation rounds (default 12)
   --idle N          idle decay rounds after the attack ceases (default 4)
+  --attack KIND     spoof (default) or grayhole (forwarding-audit workload)
+  --drop-fraction F grayhole drop probability (default 1.0 = blackhole)
   --verdicts FILE   also dump the live run's verdict CSV
   --trust FILE      also dump the live run's final trust CSV
 
@@ -124,6 +126,8 @@ class MappedFile {
 
 struct Args {
   std::string out, log, verdicts, trust;
+  std::string attack = "spoof";
+  double drop_fraction = 1.0;
   std::uint64_t seed = 1;
   std::size_t nodes = 16;
   std::size_t liars = 4;
@@ -169,6 +173,16 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (flag == "--idle") {
       if ((v = value()) == nullptr) return false;
       args.idle = std::atoi(v);
+    } else if (flag == "--attack") {
+      if ((v = value()) == nullptr) return false;
+      args.attack = v;
+      if (args.attack != "spoof" && args.attack != "grayhole") {
+        std::fprintf(stderr, "manet_detect: --attack must be spoof|grayhole\n");
+        return false;
+      }
+    } else if (flag == "--drop-fraction") {
+      if ((v = value()) == nullptr) return false;
+      args.drop_fraction = std::strtod(v, nullptr);
     } else if (flag == "--help" || flag == "-h") {
       usage();
       std::exit(0);
@@ -191,6 +205,10 @@ int cmd_record(const Args& args) {
   config.num_liars = args.liars;
   config.rounds = args.rounds;
   config.record_audit = true;
+  if (args.attack == "grayhole") {
+    config.attack = scenario::TrustExperiment::AttackKind::kGrayhole;
+    config.drop_fraction = args.drop_fraction;
+  }
 
   scenario::TrustExperiment exp{config};
   exp.setup();
@@ -234,7 +252,7 @@ int cmd_replay(const Args& args) {
 
     core::AuditStreamReader stream{file.data(), file.size()};
     auto pipeline = core::pipeline_from_header(stream.header());
-    std::uint64_t lines = 0, rounds = 0, decays = 0;
+    std::uint64_t lines = 0, rounds = 0, decays = 0, audits = 0;
     core::AuditEvent event;
     while (stream.next(event)) {
       switch (event.kind) {
@@ -246,6 +264,9 @@ int cmd_replay(const Args& args) {
           break;
         case logging::AuditFrame::kDecay:
           ++decays;
+          break;
+        case logging::AuditFrame::kForwardAudit:
+          ++audits;
           break;
       }
       pipeline.consume(event);
@@ -270,15 +291,16 @@ int cmd_replay(const Args& args) {
     std::uint64_t convictions = 0;
     for (const auto& r : pipeline.reports())
       if (r.verdict == trust::Verdict::kIntruder) ++convictions;
-    const std::uint64_t total = lines + rounds + decays;
+    const std::uint64_t total = lines + rounds + decays + audits;
     std::fprintf(stderr,
-                 "replayed %llu frames (%llu lines, %llu rounds, %llu decays) "
-                 "in %.3fs — %.0f records/s; %zu reports, %llu convictions, "
-                 "%llu suppressed\n",
+                 "replayed %llu frames (%llu lines, %llu rounds, %llu decays, "
+                 "%llu audits) in %.3fs — %.0f records/s; %zu reports, "
+                 "%llu convictions, %llu suppressed\n",
                  static_cast<unsigned long long>(total),
                  static_cast<unsigned long long>(lines),
                  static_cast<unsigned long long>(rounds),
-                 static_cast<unsigned long long>(decays), elapsed,
+                 static_cast<unsigned long long>(decays),
+                 static_cast<unsigned long long>(audits), elapsed,
                  elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0,
                  pipeline.reports().size(),
                  static_cast<unsigned long long>(convictions),

@@ -53,6 +53,10 @@ presets (override the grid; --seeds still applies)
   --sweep chaos         graceful-degradation run: 16 nodes, fraction 0.25,
                         12 rounds, per-seed chaos fault plans (node churn,
                         brown-out, netsplit); pair with --degradation
+  --sweep grayhole      forwarding-audit run: 16-node multi-hop grid, node 1
+                        drops the floods it attracted as everyone's MPR;
+                        exits 3 if any honest node is ever convicted
+  --drop-fraction F     grayhole drop probability (default 1.0 = blackhole)
 
 fault injection
   --faults chaos|FILE   chaos = derive a seeded fault plan per replication;
@@ -218,10 +222,19 @@ int main(int argc, char** argv) {
         spec.rounds = 12;
         spec.chaos = true;
         spec.fault_plan = {};
+      } else if (sweep == "grayhole") {
+        spec.node_counts = {16};
+        spec.attacker_fractions = {0.0, 0.25};
+        spec.rounds = 12;
+        spec.attack = scenario::TrustExperiment::AttackKind::kGrayhole;
       } else {
         std::fprintf(stderr, "error: unknown sweep '%s'\n", sweep.c_str());
         return 2;
       }
+    } else if (arg == "--drop-fraction") {
+      double value = 1.0;
+      ok = parse_f64(need_value(i++), value) && value >= 0.0 && value <= 1.0;
+      spec.drop_fraction = value;
     } else if (arg == "--faults") {
       const std::string value = need_value(i++);
       if (value == "chaos") {
@@ -363,6 +376,18 @@ int main(int argc, char** argv) {
                  "error: %llu invariant violation(s) during faulted run\n",
                  static_cast<unsigned long long>(violations));
     return 3;
+  }
+  // Grayhole sweeps carry the same contract through the forwarding audit:
+  // a conviction of any honest node fails the invocation.
+  if (spec.attack == scenario::TrustExperiment::AttackKind::kGrayhole) {
+    std::uint64_t false_convictions = 0;
+    for (const auto& r : results) false_convictions += r.false_convictions;
+    if (false_convictions > 0) {
+      std::fprintf(stderr,
+                   "error: %llu false conviction(s) during grayhole sweep\n",
+                   static_cast<unsigned long long>(false_convictions));
+      return 3;
+    }
   }
   return 0;
 }
