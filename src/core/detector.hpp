@@ -164,6 +164,16 @@ class Detector {
   Persisted persist() const;
   void restore(Persisted p);
 
+  /// Streams agent-log records appended since the previous call into the
+  /// pipeline (kLine events). Runs automatically before every round/scan so
+  /// the pipeline's liveness oracle is as fresh as the log itself; public so
+  /// recorders can flush the tail of the log after the last scan (otherwise
+  /// lines logged after the final round never reach the live pipeline and
+  /// its counters lag an audit-log replay of the same run). Idempotent and
+  /// side-effect-free beyond the liveness map — no RNG draws, no trust
+  /// mutation, no audit-log writes.
+  void feed_log_growth();
+
  private:
   void on_round_complete(const RoundResult& result,
                          std::vector<EvidenceTag> tags);
@@ -171,10 +181,6 @@ class Detector {
                        std::size_t& launched);
   void check_forward_timeouts(std::vector<logging::LogRecord>& synthesized);
   bool in_cooldown(NodeId suspect, NodeId subject) const;
-  /// Streams agent-log records appended since the previous call into the
-  /// pipeline (kLine events). Called before every round/scan so the
-  /// pipeline's liveness oracle is as fresh as the log itself.
-  void feed_log_growth();
 
   sim::Engine& sim_;
   olsr::Agent& agent_;

@@ -3,6 +3,20 @@
 #include <algorithm>
 
 #include "logging/format.hpp"
+#include "obs/obs.hpp"
+
+namespace manet::core {
+namespace {
+
+// Async-span correlation id of one investigation: unique across nodes
+// (each manager numbers its own investigations from 1) and a pure function
+// of the run.
+std::uint64_t span_id(std::uint32_t agent, std::uint32_t investigation) {
+  return (static_cast<std::uint64_t>(agent) << 32) | investigation;
+}
+
+}  // namespace
+}  // namespace manet::core
 
 namespace manet::core {
 namespace {
@@ -223,6 +237,9 @@ void InvestigationManager::investigate(const LinkQuery& query,
                                        std::vector<NodeId> verifiers,
                                        RoundCallback done) {
   const auto id = next_id_++;
+  obs::hit(obs::Hot::kInvestigationsOpened);
+  obs::async_begin(obs::SpanName::kInvestigation, sim_.now(),
+                   span_id(agent_.id().value(), id));
   auto& inv = outstanding_[id];
   inv.query = query;
   inv.query.investigation_id = id;
@@ -327,6 +344,8 @@ void InvestigationManager::finalize(std::uint32_t id) {
   auto done = std::move(it->second.done);
   auto result = std::move(it->second.result);
   outstanding_.erase(it);
+  obs::async_end(obs::SpanName::kInvestigation, sim_.now(),
+                 span_id(agent_.id().value(), id));
   if (done) done(result);
 }
 

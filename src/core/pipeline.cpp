@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/obs.hpp"
+
 namespace manet::core {
 
 std::string to_string(EvidenceTag tag) {
@@ -46,6 +48,7 @@ void DetectionPipeline::consume(const AuditEvent& event) {
 }
 
 void DetectionPipeline::consume_line(const logging::LogRecord& line) {
+  obs::hit(obs::Hot::kPipelineLines);
   // Liveness oracle: lines arrive in time order, so the running maximum per
   // peer equals a newest-first scan over the whole log.
   if (line.event == "hello_recv") {
@@ -61,12 +64,14 @@ sim::Time DetectionPipeline::last_heard_of(NodeId node) const {
 }
 
 void DetectionPipeline::consume_decay(sim::Time time) {
+  obs::hit(obs::Hot::kPipelineDecays);
   if (recorder_) write_decay_frame(*recorder_, time);
   trust_.decay_all_idle();
 }
 
 void DetectionPipeline::consume_forward_audit(sim::Time time,
                                               const ForwardAudit& audit) {
+  obs::hit(obs::Hot::kPipelineForwardAudits);
   if (recorder_) write_forward_audit_frame(*recorder_, time, audit);
   forward_audits_.push_back(TimedForwardAudit{time, audit});
   if (forward_audits_.size() > 10'000) forward_audits_.pop_front();
@@ -80,6 +85,9 @@ void DetectionPipeline::restore(AnswerPool pool,
 }
 
 void DetectionPipeline::consume_round(sim::Time time, const AuditRound& round) {
+  obs::hit(obs::Hot::kPipelineRounds);
+  obs::instant(obs::SpanName::kPipelineRound, time,
+               round.query.investigation_id);
   if (recorder_) write_round_frame(*recorder_, time, round);
 
   // First-hand evidence of the investigator itself enters the aggregate at
@@ -146,7 +154,14 @@ void DetectionPipeline::consume_round(sim::Time time, const AuditRound& round) {
       verdict = trust::Verdict::kUnrecognized;
       suppressed = true;
       ++degradation_.suppressed_convictions;
+      obs::hit(obs::Hot::kPipelineSuppressed);
+      obs::instant(obs::SpanName::kSuppressed, time,
+                   round.query.suspect.value());
     }
+  }
+  if (verdict == trust::Verdict::kIntruder) {
+    obs::hit(obs::Hot::kPipelineConvictions);
+    obs::instant(obs::SpanName::kConviction, time, round.query.suspect.value());
   }
 
   DetectionReport report;
@@ -211,6 +226,7 @@ void DetectionPipeline::consume_round(sim::Time time, const AuditRound& round) {
         trust::honest_answer_evidence(trust_.params().reward_honest));
   }
 
+  obs::hit(obs::Hot::kPipelineReports);
   reports_.push_back(report);
   if (reports_.size() > 10'000) reports_.pop_front();
   if (on_report_) on_report_(report);

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace manet::faults {
 
 FaultInjector::FaultInjector(sim::Engine& sim, net::Medium& medium,
@@ -64,6 +66,8 @@ void FaultInjector::apply_rect_override(const FaultEvent& e, double loss) {
 }
 
 void FaultInjector::execute(const FaultEvent& e) {
+  obs::hit(obs::Hot::kFaultEvents);
+  obs::instant(obs::SpanName::kFaultEvent, e.at, e.node.value());
   switch (e.kind) {
     case FaultKind::kCrash:
       // Stop the daemon first (it logs daemon_stop and cancels its timers

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace manet::faults {
 
 InvariantChecker::InvariantChecker(const net::Medium& medium,
@@ -12,6 +14,8 @@ InvariantChecker::InvariantChecker(const net::Medium& medium,
 
 void InvariantChecker::record(sim::Time at, std::string rule,
                               std::string detail) {
+  obs::hit(obs::Hot::kInvariantViolations);
+  obs::instant(obs::SpanName::kInvariantViolation, at, violations_.size());
   violations_.push_back({at, std::move(rule), std::move(detail)});
 }
 

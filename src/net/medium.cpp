@@ -6,6 +6,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace manet::net {
 
 Medium::Medium(sim::Engine& sim, RadioConfig config)
@@ -293,6 +295,7 @@ void Medium::transmit_batched(NodeId sender, PayloadPtr payload) {
     st.bytes_sent += payload->size();
   }
   ++batch_stats_slot().batched_broadcasts;
+  obs::hit(obs::Hot::kMediumBatchedBroadcasts);
 
   const Packet packet{sender, kInvalidNode, std::move(payload), eng.now()};
   const Position origin = tx.pos;
@@ -360,6 +363,7 @@ void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
 
   if (link_dest.valid()) {
     // Unicast fast path: at most one receiver, no scan at all.
+    obs::hit(obs::Hot::kMediumUnicasts);
     if (link_dest == sender) return;
     const auto it = index_.find(link_dest);
     if (it == index_.end()) return;
@@ -370,6 +374,7 @@ void Medium::transmit(NodeId sender, NodeId link_dest, PayloadPtr payload) {
     return;
   }
 
+  obs::hit(obs::Hot::kMediumBroadcasts);
   // Broadcast: collect in-range receivers from the 3x3 grid neighborhood,
   // then deliver in ascending NodeId order so the RNG draw sequence matches
   // the full-scan implementation this replaced. Cross-partition receivers

@@ -1,0 +1,89 @@
+#include "obs/manifest.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace manet::obs {
+
+RunManifest::RunManifest(std::string tool) {
+  add("tool", tool);
+  add("version", build_version());
+}
+
+RunManifest& RunManifest::add(const std::string& key,
+                              const std::string& value) {
+  entries_.emplace_back(key, value);
+  return *this;
+}
+
+RunManifest& RunManifest::add(const std::string& key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  return add(key, std::string{buf});
+}
+
+RunManifest& RunManifest::add(const std::string& key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return add(key, std::string{buf});
+}
+
+std::string RunManifest::comment_header() const {
+  std::string out;
+  for (const auto& [key, value] : entries_) {
+    out += "# manifest ";
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string RunManifest::json_object() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : entries_) {
+    if (!first) out += ",";
+    first = false;
+    append_json_string(out, key);
+    out += ":";
+    append_json_string(out, value);
+  }
+  out += "}";
+  return out;
+}
+
+std::string build_version() {
+#ifdef MANET_GIT_DESCRIBE
+  return MANET_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace manet::obs

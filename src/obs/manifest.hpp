@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manet::obs {
+
+/// Provenance stamp of one tool invocation: an ordered key/value list
+/// (tool, version, engine, seed grid, thread/shard counts, ...) rendered
+/// into whatever output the run produces — `#`-comment lines ahead of a
+/// CSV table or a Prometheus page, an object inside a JSON document — so
+/// every BENCH/fixture artifact is self-describing. Values are plain
+/// strings; every field is a deterministic function of the invocation
+/// (never a timestamp), so two runs of the same command produce the same
+/// manifest byte for byte.
+class RunManifest {
+ public:
+  explicit RunManifest(std::string tool);
+
+  RunManifest& add(const std::string& key, const std::string& value);
+  RunManifest& add(const std::string& key, std::uint64_t value);
+  RunManifest& add(const std::string& key, double value);
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  /// "# manifest key=value" lines (one per entry, newline-terminated) —
+  /// the header stamped ahead of CSV tables and Prometheus text.
+  std::string comment_header() const;
+
+  /// The manifest as a JSON object, e.g. {"tool":"manet_experiments",...}.
+  std::string json_object() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// The build's `git describe` stamp (configure-time; "unknown" outside a
+/// git checkout). Stale until CMake re-runs — good enough for provenance.
+std::string build_version();
+
+}  // namespace manet::obs

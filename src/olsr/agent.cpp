@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "olsr/wire.hpp"
 
 namespace manet::olsr {
@@ -793,6 +794,7 @@ void Agent::recompute_mprs() {
                       fresh_mprs_.end(), std::back_inserter(removed));
 
   mprs_ = fresh_mprs_;
+  obs::hit(obs::Hot::kMprRecomputes);
   auto rec = make_record("mpr_changed");
   rec.with("mprs", logging::join_node_list(mprs_))
       .with("added", logging::join_node_list(added))
@@ -804,6 +806,8 @@ void Agent::recompute_routes() {
   build_knowledge_graph(kg_scratch_);
   const auto [added, removed] = routing_.recompute(id_, kg_scratch_);
   if (added.empty() && removed.empty()) return;
+  obs::hit(obs::Hot::kRouteRecomputes);
+  obs::instant(obs::SpanName::kRoutingRecompute, sim_.now(), id_.value());
   auto rec = make_record("routes_changed");
   rec.with("added", logging::join_node_list(added))
       .with("removed", logging::join_node_list(removed))

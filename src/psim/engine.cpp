@@ -9,6 +9,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace manet::psim {
 namespace {
 
@@ -223,10 +225,21 @@ void Engine::exec_lane(unsigned lane, sim::Time end) {
 }
 
 void Engine::run_window(sim::Time end) {
+  // Capture the caller's obs binding so worker threads inherit the
+  // replication's Context with the deterministic shard-lane id stamped on
+  // everything they record (worker threads themselves carry no binding).
+  obs::Context* const obs_ctx = obs::detail::tls.ctx;
+  const auto lane_window = [this, end, obs_ctx](unsigned lane) {
+    obs::Scope obs_scope{obs_ctx, lane};
+    const auto begin = shards_[lane]->now();
+    exec_lane(lane, end);
+    obs::hit(obs::Hot::kPsimWindows);
+    obs::span(obs::SpanName::kPsimWindow, begin, shards_[lane]->now(), lane);
+  };
   if (pool_) {
-    pool_->run(shards(), [this, end](unsigned lane) { exec_lane(lane, end); });
+    pool_->run(shards(), lane_window);
   } else {
-    for (unsigned lane = 0; lane < shards(); ++lane) exec_lane(lane, end);
+    for (unsigned lane = 0; lane < shards(); ++lane) lane_window(lane);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
 #include "stats/descriptive.hpp"
@@ -111,6 +112,9 @@ std::vector<ReplicationTask> ExperimentSpec::expand() const {
       task.shards = shards;
       task.chaos = chaos;
       task.fault_plan = fault_plan;
+      task.metrics = metrics;
+      task.tracing = tracing;
+      task.trace_wallclock = trace_wallclock;
       tasks.push_back(task);
     }
   }
@@ -147,6 +151,23 @@ ReplicationResult run_replication(const ReplicationTask& task,
   cfg.trust_params = trust_params;
   cfg.decision = decision;
 
+  // Observability arena for this replication: created only on request, and
+  // bound to this thread (psim worker lanes inherit it at each window) for
+  // the whole setup + rounds drive. With no Context the handles below are
+  // dead and every instrumented site stays a single untaken branch.
+  std::unique_ptr<obs::Context> obs_ctx;
+  if (task.observed()) {
+    obs::Context::Config oc;
+    oc.tracing = task.tracing;
+    oc.wallclock = task.trace_wallclock;
+    obs_ctx = std::make_unique<obs::Context>(oc);
+  }
+  obs::Scope obs_scope{obs_ctx.get()};
+  const auto detect_hist = obs::histogram("manet_round_detect", -1.0, 1.0, 16);
+  const auto round_sim_s =
+      obs::histogram("manet_round_duration_sim_seconds", 0.0, 30.0, 30);
+  const auto rounds_gauge = obs::gauge("manet_replication_rounds");
+
   scenario::TrustExperiment exp{cfg};
   exp.setup();
 
@@ -160,8 +181,12 @@ ReplicationResult run_replication(const ReplicationTask& task,
   const bool faulted = task.faulted();
   std::vector<sim::Time> round_ends;
   scenario::TrustExperiment::RoundSnapshot last;
+  sim::Time prev_at = exp.network().now();
   for (int r = 0; r < task.rounds; ++r) {
     last = faulted ? exp.run_churn_round() : exp.run_round();
+    detect_hist.observe(last.detect);
+    round_sim_s.observe((last.at - prev_at).seconds());
+    prev_at = last.at;
     result.detect_per_round.push_back(last.detect);
     if (faulted) {
       result.down_per_round.push_back(last.down);
@@ -214,6 +239,15 @@ ReplicationResult run_replication(const ReplicationTask& task,
   for (std::size_t i = 0; i < net.size(); ++i) {
     const auto& s = net.agent(i).stats();
     result.control_messages += s.hello_sent + s.tc_sent + s.msgs_forwarded;
+  }
+
+  if (obs_ctx) {
+    rounds_gauge.set(static_cast<double>(task.rounds));
+    if (task.metrics) result.metrics = obs_ctx->snapshot();
+    if (task.tracing) {
+      result.trace = obs_ctx->trace();
+      result.trace_dropped = obs_ctx->trace_dropped();
+    }
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "obs/obs.hpp"
 #include "scenario/trust_experiment.hpp"
 #include "trust/detection.hpp"
 
@@ -67,7 +68,17 @@ struct ReplicationTask {
   /// Explicit fault schedule (used when `chaos` is false); empty = pristine.
   faults::FaultPlan fault_plan;
 
+  /// Observability: collect a metrics snapshot for this replication. Off
+  /// by default — the disabled path is a no-op branch per record site.
+  bool metrics = false;
+  /// Record flight-recorder trace spans (implies a bound obs::Context).
+  bool tracing = false;
+  /// Stamp wall-clock durations on trace events (profiling overlay; makes
+  /// the trace non-deterministic, never touches metrics or goldens).
+  bool trace_wallclock = false;
+
   bool faulted() const { return chaos || !fault_plan.empty(); }
+  bool observed() const { return metrics || tracing; }
 
   /// The scenario config this task denotes, ready for TrustExperiment.
   scenario::TrustExperiment::Config to_config() const;
@@ -108,6 +119,14 @@ struct ReplicationResult {
   /// faulted runs; 0 on pristine spoof runs). manet_experiments exits 3
   /// when a grayhole sweep records any.
   std::uint64_t false_convictions = 0;
+
+  // --- observability harvest (task.observed() runs only; empty else) ---
+  /// Merged metrics snapshot of the replication (task.metrics).
+  obs::MetricsSnapshot metrics;
+  /// Flight-recorder dump, deterministically ordered (task.tracing).
+  std::vector<obs::TraceEvent> trace;
+  /// Trace events lost to ring wrap across all recording threads.
+  std::uint64_t trace_dropped = 0;
 };
 
 /// Declarative description of a full sweep: the cartesian grid
@@ -135,6 +154,10 @@ struct ExperimentSpec {
   faults::FaultPlan fault_plan;
   trust::TrustParams trust_params;
   trust::DecisionConfig decision;
+  /// Observability toggles applied to every task (see ReplicationTask).
+  bool metrics = false;
+  bool tracing = false;
+  bool trace_wallclock = false;
 
   /// Grid points in declaration order (node count, fraction, preset).
   std::vector<GridPoint> grid() const;

@@ -10,6 +10,7 @@
 #include "faults/checkpoint.hpp"
 #include "logging/audit_log.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "olsr/wire.hpp"
 
 namespace manet::scenario {
@@ -200,7 +201,9 @@ void TrustExperiment::setup() {
   if (injector_ && network_->sharded() == nullptr) injector_->arm();
   // Let OLSR converge: links become symmetric after two HELLO exchanges;
   // give the cluster a comfortable margin.
+  const auto begin = network_->now();
   drive(sim::Duration::from_seconds(15.0));
+  obs::span(obs::SpanName::kSetupConverge, begin, network_->now());
 }
 
 core::DetectionReport TrustExperiment::run_investigation(
@@ -233,6 +236,7 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
 
   RoundSnapshot snap;
   snap.round = ++round_counter_;
+  const auto round_begin = network_->now();
 
   // Verifiers: every bystander (the attacker's 1-hop neighbors, §IV-B).
   std::vector<NodeId> verifiers;
@@ -250,12 +254,15 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_round() {
     const auto id = Network::id_of(i);
     snap.trust[id] = detector_->trust_store().trust(id);
   }
+  obs::span(obs::SpanName::kRound, round_begin, network_->now(),
+            static_cast<std::uint64_t>(snap.round));
   return snap;
 }
 
 TrustExperiment::RoundSnapshot TrustExperiment::run_grayhole_round() {
   RoundSnapshot snap;
   snap.round = ++round_counter_;
+  const auto round_begin = network_->now();
 
   // Detection is scan-driven, not claim-driven: pad to the round's 5 s
   // slot so third-party floods accumulate (and the attacker drops its
@@ -314,6 +321,8 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_grayhole_round() {
     const auto id = Network::id_of(i);
     snap.trust[id] = detector_->trust_store().trust(id);
   }
+  obs::span(obs::SpanName::kRound, round_begin, network_->now(),
+            static_cast<std::uint64_t>(snap.round));
   return snap;
 }
 
@@ -379,11 +388,14 @@ TrustExperiment::RoundSnapshot TrustExperiment::run_churn_round() {
 TrustExperiment::RoundSnapshot TrustExperiment::run_idle_round() {
   RoundSnapshot snap;
   snap.round = ++round_counter_;
+  const auto round_begin = network_->now();
   // Through the pipeline, not the trust store directly: the decay is an
   // audit-stream event (kDecay frame), so a recorded run replays it.
   detector_->pipeline().consume_decay(network_->now());
   drive(sim::Duration::from_seconds(2.0));
   snap.at = network_->now();
+  obs::span(obs::SpanName::kIdleRound, round_begin, network_->now(),
+            static_cast<std::uint64_t>(snap.round));
   for (std::size_t i = 1; i < config_.num_nodes; ++i) {
     const auto id = Network::id_of(i);
     snap.trust[id] = detector_->trust_store().trust(id);
@@ -425,6 +437,8 @@ std::vector<std::uint8_t> TrustExperiment::save_checkpoint() {
           "investigations)"};
   }
 
+  obs::hit(obs::Hot::kCheckpointSaves);
+  obs::instant(obs::SpanName::kCheckpointSave, network_->now());
   faults::CheckpointWriter w;
   w.u32(faults::kCheckpointMagic);
   w.u32(faults::kCheckpointVersion);
@@ -598,6 +612,8 @@ void TrustExperiment::apply_restored(const std::vector<std::uint8_t>& bytes) {
                      return a.at != b.at ? a.at < b.at : a.seq < b.seq;
                    });
   for (const auto& item : items) item.fn();
+  obs::hit(obs::Hot::kCheckpointRestores);
+  obs::instant(obs::SpanName::kCheckpointRestore, now);
 }
 
 }  // namespace manet::scenario

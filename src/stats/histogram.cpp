@@ -21,6 +21,44 @@ void Histogram::add(double x) {
                                    static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  sum_ += x;
+  if (x < lo_) ++underflow_;
+  if (x >= hi_) ++overflow_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument{"Histogram::merge: shape mismatch"};
+  for (std::size_t b = 0; b < counts_.size(); ++b)
+    counts_[b] += other.counts_[b];
+  total_ += other.total_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::quantile(double p) const {
+  if (!(p >= 0.0 && p <= 1.0))
+    throw std::invalid_argument{"quantile needs p in [0, 1]"};
+  if (total_ == 0) throw std::logic_error{"quantile of an empty histogram"};
+  // Rank of the requested quantile, then linear interpolation within the
+  // bin that crosses it. Clamped samples sit in the edge bins, so the
+  // result can never leave [lo, hi].
+  const double rank = p * static_cast<double>(total_);
+  std::size_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t next = cumulative + counts_[b];
+    if (static_cast<double>(next) >= rank && counts_[b] > 0) {
+      const double within =
+          (rank - static_cast<double>(cumulative)) /
+          static_cast<double>(counts_[b]);
+      const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+      return bin_lower(b) + std::clamp(within, 0.0, 1.0) * width;
+    }
+    cumulative = next;
+  }
+  return hi_;  // p == 1 with trailing empty bins
 }
 
 std::size_t Histogram::bin_count(std::size_t bin) const {

@@ -7,8 +7,9 @@
 namespace manet::stats {
 
 /// Fixed-width-bin histogram over [lo, hi); out-of-range samples are clamped
-/// into the edge bins. Used by the overhead bench to summarize per-round
-/// message counts.
+/// into the edge bins (and tallied separately as underflow/overflow). Used
+/// by the overhead bench to summarize per-round message counts and by the
+/// obs metrics registry, whose per-thread shards merge() at Runner barriers.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -19,6 +20,27 @@ class Histogram {
   double bin_lower(std::size_t bin) const;
   double bin_upper(std::size_t bin) const;
   std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// Raw sum of every added sample (before edge clamping).
+  double sum() const { return sum_; }
+  /// Samples added with x < lo (clamped into bin 0).
+  std::size_t underflow() const { return underflow_; }
+  /// Samples added with x >= hi (clamped into the last bin).
+  std::size_t overflow() const { return overflow_; }
+
+  /// Folds `other` in bin-wise. The histograms must share [lo, hi) and the
+  /// bin count exactly; throws std::invalid_argument otherwise. Merging is
+  /// commutative and associative, so any merge order over a set of shards
+  /// yields the same histogram.
+  void merge(const Histogram& other);
+
+  /// Linear-interpolated p-quantile (p in [0, 1]) over the binned counts.
+  /// Out-of-range samples were clamped, so the result always lies inside
+  /// [lo, hi]. Throws std::invalid_argument on p outside [0, 1] and
+  /// std::logic_error when the histogram is empty.
+  double quantile(double p) const;
 
   /// ASCII rendering, one bar per bin.
   std::string render(std::size_t max_width = 50) const;
@@ -28,6 +50,9 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  double sum_ = 0.0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace manet::stats

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/audit_event.hpp"
+#include "obs/obs.hpp"
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
 #include "faults/fault_plan.hpp"
@@ -313,6 +314,10 @@ struct Recorded {
   std::vector<std::uint8_t> bytes;
   std::string verdicts;
   std::string trust;
+  /// counters_text("manet_pipeline_") of the live run's metrics registry —
+  /// diffed verbatim against the replay's (manet_detect's --metrics
+  /// equivalence surface).
+  std::string pipeline_counters;
 };
 
 Recorded record_run(std::uint64_t seed, int rounds, int idle,
@@ -324,6 +329,8 @@ Recorded record_run(std::uint64_t seed, int rounds, int idle,
   config.rounds = rounds;
   config.record_audit = true;
   config.fault_plan = std::move(plan);
+  obs::Context obs_ctx;
+  obs::Scope obs_scope{&obs_ctx};
   TrustExperiment exp{config};
   exp.setup();
   for (int r = 0; r < rounds; ++r) {
@@ -336,18 +343,30 @@ Recorded record_run(std::uint64_t seed, int rounds, int idle,
     exp.cease_attack();
     for (int r = 0; r < idle; ++r) exp.run_idle_round();
   }
+  // Flush the log tail so the live kPipelineLines counter covers every
+  // frame the recorded stream carries (manet_detect record does the same).
+  exp.detector().feed_log_growth();
   return {exp.audit_log(), core::verdict_csv(exp.detector().reports()),
-          core::trust_csv(exp.detector().trust_store())};
+          core::trust_csv(exp.detector().trust_store()),
+          obs_ctx.snapshot().counters_text("manet_pipeline_")};
 }
 
-std::pair<std::string, std::string> replay(
-    const std::vector<std::uint8_t>& bytes) {
+struct Replayed {
+  std::string verdicts;
+  std::string trust;
+  std::string pipeline_counters;
+};
+
+Replayed replay(const std::vector<std::uint8_t>& bytes) {
+  obs::Context obs_ctx;
+  obs::Scope obs_scope{&obs_ctx};
   AuditStreamReader stream{bytes};
   auto pipeline = core::pipeline_from_header(stream.header());
   AuditEvent event;
   while (stream.next(event)) pipeline.consume(event);
   return {core::verdict_csv(pipeline.reports()),
-          core::trust_csv(pipeline.trust_store())};
+          core::trust_csv(pipeline.trust_store()),
+          obs_ctx.snapshot().counters_text("manet_pipeline_")};
 }
 
 TEST(AuditReplay, FiftySeedsReplayByteIdentically) {
@@ -358,9 +377,14 @@ TEST(AuditReplay, FiftySeedsReplayByteIdentically) {
   for (std::uint64_t seed = 1; seed <= 50; ++seed) {
     const auto live = record_run(seed, /*rounds=*/3, /*idle=*/0);
     ASSERT_FALSE(live.bytes.empty()) << "seed " << seed;
-    const auto [verdicts, trust] = replay(live.bytes);
+    const auto [verdicts, trust, counters] = replay(live.bytes);
     ASSERT_EQ(verdicts, live.verdicts) << "seed " << seed;
     ASSERT_EQ(trust, live.trust) << "seed " << seed;
+    // The metrics registry is part of the equivalence surface: both
+    // producers (live simulator, recorded stream) feed the same pipeline
+    // instrumentation, so the named counters must agree exactly.
+    ASSERT_EQ(counters, live.pipeline_counters) << "seed " << seed;
+    ASSERT_FALSE(counters.empty()) << "seed " << seed;
   }
 }
 
@@ -368,9 +392,10 @@ TEST(AuditReplay, IdleDecayPhaseReplaysByteIdentically) {
   // Fig. 2 semantics: after cease_attack the stream carries kDecay frames;
   // the replayed forgetting sweeps must move trust exactly as live ones.
   const auto live = record_run(7, /*rounds=*/4, /*idle=*/3);
-  const auto [verdicts, trust] = replay(live.bytes);
+  const auto [verdicts, trust, counters] = replay(live.bytes);
   EXPECT_EQ(verdicts, live.verdicts);
   EXPECT_EQ(trust, live.trust);
+  EXPECT_EQ(counters, live.pipeline_counters);
 }
 
 TEST(AuditReplay, FaultedRunsReplayByteIdentically) {
@@ -385,9 +410,10 @@ TEST(AuditReplay, FaultedRunsReplayByteIdentically) {
   for (std::uint64_t seed : {11u, 23u, 29u}) {
     const auto live = record_run(seed, /*rounds=*/4, /*idle=*/0,
                                  faults::FaultPlan::parse(plan_text));
-    const auto [verdicts, trust] = replay(live.bytes);
+    const auto [verdicts, trust, counters] = replay(live.bytes);
     ASSERT_EQ(verdicts, live.verdicts) << "seed " << seed;
     ASSERT_EQ(trust, live.trust) << "seed " << seed;
+    ASSERT_EQ(counters, live.pipeline_counters) << "seed " << seed;
   }
 }
 

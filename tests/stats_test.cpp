@@ -229,6 +229,91 @@ TEST(Histogram, Validation) {
   EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
 }
 
+TEST(Histogram, TracksSumUnderflowOverflow) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(-3.0);  // underflow, clamped to bin 0
+  h.add(42.0);  // overflow, clamped to bin 4
+  h.add(10.0);  // hi itself is out of [lo, hi) -> overflow
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_DOUBLE_EQ(h.sum(), -3.0 + 42.0 + 10.0 + 5.0);  // pre-clamp values
+  EXPECT_EQ(h.count(), 4u);
+}
+
+TEST(Histogram, MergeMatchesBulk) {
+  Histogram a{0.0, 10.0, 5}, b{0.0, 10.0, 5}, all{0.0, 10.0, 5};
+  for (int i = 0; i < 40; ++i) {
+    const double x = -2.0 + 0.4 * i;  // spans underflow, bins, overflow
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.underflow(), all.underflow());
+  EXPECT_EQ(a.overflow(), all.overflow());
+  for (std::size_t bin = 0; bin < all.bins(); ++bin)
+    EXPECT_EQ(a.bin_count(bin), all.bin_count(bin)) << "bin=" << bin;
+}
+
+TEST(Histogram, MergeOfEmptyIsIdentity) {
+  Histogram a{0.0, 4.0, 4}, empty{0.0, 4.0, 4};
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.bin_count(1), 1u);
+  EXPECT_EQ(a.bin_count(3), 1u);
+  // The other direction too: folding into an empty histogram copies.
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.sum(), a.sum());
+}
+
+TEST(Histogram, MergeShapeMismatchThrows) {
+  Histogram a{0.0, 10.0, 5};
+  Histogram different_bins{0.0, 10.0, 4};
+  Histogram different_range{0.0, 12.0, 5};
+  EXPECT_THROW(a.merge(different_bins), std::invalid_argument);
+  EXPECT_THROW(a.merge(different_range), std::invalid_argument);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h{0.0, 10.0, 10};
+  for (int i = 0; i < 100; ++i) h.add(i * 0.1);  // ~uniform on [0, 10)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_NEAR(h.quantile(0.5), 5.0, 0.5);
+  EXPECT_NEAR(h.quantile(0.9), 9.0, 0.5);
+  double prev = 0.0;
+  for (double p = 0.0; p <= 1.0; p += 0.1) {
+    const double q = h.quantile(p);
+    EXPECT_GE(q, prev);  // monotone in p
+    prev = q;
+  }
+}
+
+TEST(Histogram, QuantileClampedEdges) {
+  // Every sample out of range: all mass sits in the edge bins, and the
+  // quantiles stay inside [lo, hi].
+  Histogram h{0.0, 1.0, 4};
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 1.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, QuantileValidation) {
+  Histogram h{0.0, 1.0, 2};
+  EXPECT_THROW(h.quantile(0.5), std::logic_error);  // empty
+  h.add(0.5);
+  EXPECT_THROW(h.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(h.quantile(1.1), std::invalid_argument);
+}
+
 TEST(Histogram, RenderShowsCounts) {
   Histogram h{0.0, 2.0, 2};
   h.add(0.5);

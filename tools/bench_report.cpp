@@ -8,8 +8,10 @@
 // (save/restore throughput at 256 and 1024 nodes), plus the audit-event
 // detection pipeline (in-memory consume and binary-log replay at 256 and
 // 1024 peer streams, the kForwardAudit frame path, and the end-to-end
-// grayhole detection round) — with repeated runs and median aggregates, and
-// writes the results to BENCH_9.json: the current point of this repo's
+// grayhole detection round), and the observability-layer gauges (disabled
+// and enabled counter record, span record, registry snapshot) — with
+// repeated runs and median aggregates, and
+// writes the results to BENCH_10.json: the current point of this repo's
 // recorded perf trajectory (see docs/BENCHMARKING.md for the whole series
 // and its comparability rules; tools/bench_diff.py prints median deltas
 // between consecutive BENCH_N files).
@@ -26,7 +28,7 @@
 int main(int argc, char** argv) {
   std::vector<std::string> args = {
       argv[0],
-      "--benchmark_out=BENCH_9.json",
+      "--benchmark_out=BENCH_10.json",
       "--benchmark_out_format=json",
       "--benchmark_repetitions=5",
       "--benchmark_report_aggregates_only=true",
@@ -38,7 +40,8 @@ int main(int argc, char** argv) {
       "BM_TrustUpdateLarge|BM_TrustDecayAllLarge|"
       "BM_CheckpointSave|BM_CheckpointRestore|"
       "BM_DetectConsume|BM_AuditReplay|BM_AuditDecode|"
-      "BM_ForwardAuditConsume|BM_GrayholeRound",
+      "BM_ForwardAuditConsume|BM_GrayholeRound|"
+      "BM_CounterInc|BM_SpanEnterExit|BM_SpanDisabled|BM_RegistrySnapshot",
   };
   for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
 

@@ -25,7 +25,7 @@ ROOT = Path(__file__).resolve().parent.parent
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 ANCHOR_RE = re.compile(r"\(((?:\.\./)?(?:src|tests|tools|bench)/[\w/.-]+\.(?:cpp|hpp))#L(\d+)\)")
 ANCHOR_SLACK = 3  # lines of drift tolerated before a symbol anchor fails
-DOC_DIRS = ["src/net", "src/sim", "src/psim"]
+DOC_DIRS = ["src/net", "src/sim", "src/psim", "src/obs"]
 DECL_RE = re.compile(
     r"^(?:template\s*<[^>]*>\s*)?(class|struct)\s+([A-Z]\w+)"
     r"(?:\s+final)?\s*(?::[^;{]*)?\{")

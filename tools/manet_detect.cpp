@@ -31,6 +31,8 @@
 
 #include "core/pipeline.hpp"
 #include "logging/audit_log.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
 #include "scenario/trust_experiment.hpp"
 
 using namespace manet;
@@ -56,6 +58,12 @@ replay options (offline detection)
   --log FILE        recorded audit log to replay (required)
   --verdicts FILE   dump the replayed verdict CSV
   --trust FILE      dump the replayed final trust CSV
+
+both commands
+  --metrics FILE    write the run's metrics registry as Prometheus text
+                    (run manifest in the header). Record and replay emit the
+                    same manet_pipeline_* counters for the same log — the
+                    snapshot is part of the equivalence surface.
 
 exit codes: 0 ok, 1 usage/IO error, 2 corrupt log
 )");
@@ -125,7 +133,7 @@ class MappedFile {
 };
 
 struct Args {
-  std::string out, log, verdicts, trust;
+  std::string out, log, verdicts, trust, metrics;
   std::string attack = "spoof";
   double drop_fraction = 1.0;
   std::uint64_t seed = 1;
@@ -158,6 +166,9 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (flag == "--trust") {
       if ((v = value()) == nullptr) return false;
       args.trust = v;
+    } else if (flag == "--metrics") {
+      if ((v = value()) == nullptr) return false;
+      args.metrics = v;
     } else if (flag == "--seed") {
       if ((v = value()) == nullptr) return false;
       args.seed = std::strtoull(v, nullptr, 10);
@@ -194,11 +205,33 @@ bool parse_args(int argc, char** argv, Args& args) {
   return true;
 }
 
+obs::RunManifest detect_manifest(const char* command, const Args& args) {
+  obs::RunManifest m{"manet_detect"};
+  m.add("command", command);
+  if (std::strcmp(command, "record") == 0) {
+    m.add("seed", args.seed);
+    m.add("nodes", static_cast<std::uint64_t>(args.nodes));
+    m.add("liars", static_cast<std::uint64_t>(args.liars));
+    m.add("rounds", static_cast<std::uint64_t>(args.rounds));
+    m.add("idle", static_cast<std::uint64_t>(args.idle));
+    m.add("attack", args.attack);
+  } else {
+    m.add("log", args.log);
+  }
+  return m;
+}
+
 int cmd_record(const Args& args) {
   if (args.out.empty()) {
     std::fprintf(stderr, "manet_detect record: --out is required\n");
     return 1;
   }
+  // The metrics registry records for the whole live run; the pipeline
+  // counters it collects are the same ones cmd_replay collects from the
+  // recorded stream, so the two snapshots are directly diffable.
+  obs::Context obs_ctx;
+  obs::Scope obs_scope{&obs_ctx};
+
   scenario::TrustExperiment::Config config;
   config.seed = args.seed;
   config.num_nodes = args.nodes;
@@ -215,6 +248,10 @@ int cmd_record(const Args& args) {
   exp.run_attack_rounds(args.rounds);
   exp.cease_attack();
   for (int i = 0; i < args.idle; ++i) exp.run_idle_round();
+  // Flush log lines recorded after the last scan into the live pipeline so
+  // its kPipelineLines counter covers the same frames a replay consumes.
+  // Pure liveness-map bookkeeping — no RNG, trust, or audit-log effects.
+  exp.detector().feed_log_growth();
 
   const auto bytes = exp.audit_log();
   if (!write_file(args.out, bytes.data(), bytes.size())) {
@@ -234,6 +271,16 @@ int cmd_record(const Args& args) {
                  args.trust.c_str());
     return 1;
   }
+  if (!args.metrics.empty()) {
+    const auto snap = obs_ctx.snapshot();
+    const auto manifest = detect_manifest("record", args);
+    if (!write_file(args.metrics,
+                    snap.to_prometheus(manifest.comment_header()))) {
+      std::fprintf(stderr, "manet_detect record: cannot write %s\n",
+                   args.metrics.c_str());
+      return 1;
+    }
+  }
   std::fprintf(stderr,
                "recorded %zu bytes (%d rounds + %d idle, seed %llu) to %s\n",
                bytes.size(), args.rounds, args.idle,
@@ -250,31 +297,29 @@ int cmd_replay(const Args& args) {
     const MappedFile file{args.log};
     const auto start = std::chrono::steady_clock::now();
 
+    // The replay's frame tallies come from the same metrics registry the
+    // live run feeds — one instrumentation point (the pipeline's consume_*
+    // paths), two producers, identical named counters.
+    obs::Context obs_ctx;
+    obs::Scope obs_scope{&obs_ctx};
+
     core::AuditStreamReader stream{file.data(), file.size()};
     auto pipeline = core::pipeline_from_header(stream.header());
-    std::uint64_t lines = 0, rounds = 0, decays = 0, audits = 0;
     core::AuditEvent event;
-    while (stream.next(event)) {
-      switch (event.kind) {
-        case logging::AuditFrame::kLine:
-          ++lines;
-          break;
-        case logging::AuditFrame::kRound:
-          ++rounds;
-          break;
-        case logging::AuditFrame::kDecay:
-          ++decays;
-          break;
-        case logging::AuditFrame::kForwardAudit:
-          ++audits;
-          break;
-      }
-      pipeline.consume(event);
-    }
+    while (stream.next(event)) pipeline.consume(event);
 
     const auto elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
+    const auto snap = obs_ctx.snapshot();
+    const auto lines =
+        snap.counter_value(obs::hot_name(obs::Hot::kPipelineLines));
+    const auto rounds =
+        snap.counter_value(obs::hot_name(obs::Hot::kPipelineRounds));
+    const auto decays =
+        snap.counter_value(obs::hot_name(obs::Hot::kPipelineDecays));
+    const auto audits =
+        snap.counter_value(obs::hot_name(obs::Hot::kPipelineForwardAudits));
     if (!args.verdicts.empty() &&
         !write_file(args.verdicts, core::verdict_csv(pipeline.reports()))) {
       std::fprintf(stderr, "manet_detect replay: cannot write %s\n",
@@ -286,6 +331,15 @@ int cmd_replay(const Args& args) {
       std::fprintf(stderr, "manet_detect replay: cannot write %s\n",
                    args.trust.c_str());
       return 1;
+    }
+    if (!args.metrics.empty()) {
+      const auto manifest = detect_manifest("replay", args);
+      if (!write_file(args.metrics,
+                      snap.to_prometheus(manifest.comment_header()))) {
+        std::fprintf(stderr, "manet_detect replay: cannot write %s\n",
+                     args.metrics.c_str());
+        return 1;
+      }
     }
 
     std::uint64_t convictions = 0;

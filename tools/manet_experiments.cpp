@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "faults/fault_plan.hpp"
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
 #include "runtime/aggregator.hpp"
 #include "runtime/runner.hpp"
 
@@ -82,6 +84,17 @@ execution / output
   --out FILE            write output to FILE instead of stdout
   --quiet               suppress progress on stderr
   --help                this text
+
+observability (see docs/ARCHITECTURE.md, "Observability")
+  --metrics FILE        collect the metrics registry and write a Prometheus
+                        text exposition (run manifest in the header). Never
+                        changes any other output byte.
+  --trace FILE          record sim-time trace spans into the per-thread
+                        flight recorders and dump Chrome trace_event JSON
+                        (chrome://tracing / Perfetto; pid = task index,
+                        tid = shard lane). Written on failure exits too.
+  --trace-wallclock     profiling overlay: stamp wall-clock durations on
+                        trace events (non-deterministic; off by default)
 )");
 }
 
@@ -149,6 +162,68 @@ bool parse_preset_list(const std::string& text,
   return !out.empty();
 }
 
+template <class T, class Fn>
+std::string join_list(const std::vector<T>& items, Fn render) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ',';
+    out += render(items[i]);
+  }
+  return out;
+}
+
+// The invocation's provenance stamp. Every field is a pure function of the
+// arguments (no timestamps, no resolved thread counts beyond the request),
+// so identical invocations stamp identical manifests; thread-determinism
+// diffs must still filter "^#" because --threads is recorded as requested.
+obs::RunManifest build_manifest(const runtime::ExperimentSpec& spec,
+                                std::uint64_t seed_base, unsigned threads,
+                                double confidence) {
+  obs::RunManifest m{"manet_experiments"};
+  m.add("engine", spec.engine == sim::EngineKind::kSharded ? "sharded"
+                                                           : "sequential");
+  m.add("threads", static_cast<std::uint64_t>(threads));
+  m.add("shards", static_cast<std::uint64_t>(spec.shards));
+  m.add("nodes", join_list(spec.node_counts, [](std::size_t n) {
+          return std::to_string(n);
+        }));
+  m.add("liar_fractions", join_list(spec.attacker_fractions, [](double f) {
+          char buf[32];
+          std::snprintf(buf, sizeof buf, "%g", f);
+          return std::string{buf};
+        }));
+  m.add("mobility", join_list(spec.mobility_presets, [](auto p) {
+          return runtime::to_string(p);
+        }));
+  m.add("rounds", static_cast<std::uint64_t>(spec.rounds));
+  m.add("seeds", static_cast<std::uint64_t>(spec.seeds.size()));
+  m.add("seed_base", seed_base);
+  m.add("attack",
+        spec.attack == scenario::TrustExperiment::AttackKind::kGrayhole
+            ? "grayhole"
+            : "spoof");
+  if (spec.attack == scenario::TrustExperiment::AttackKind::kGrayhole)
+    m.add("drop_fraction", spec.drop_fraction);
+  m.add("faulted", spec.chaos                    ? "chaos"
+                   : !spec.fault_plan.empty()    ? "plan"
+                                                 : "none");
+  char conf[32];
+  std::snprintf(conf, sizeof conf, "%g", confidence);
+  m.add("confidence", std::string{conf});
+  return m;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  std::fputs(content.c_str(), f);
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,6 +235,8 @@ int main(int argc, char** argv) {
   double confidence = 0.95;
   std::string format = "csv";
   std::string out_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool per_round = false;
   bool degradation = false;
   bool quiet = false;
@@ -287,6 +364,14 @@ int main(int argc, char** argv) {
       degradation = true;
     } else if (arg == "--out") {
       out_path = need_value(i++);
+    } else if (arg == "--metrics") {
+      metrics_path = need_value(i++);
+      ok = !metrics_path.empty();
+    } else if (arg == "--trace") {
+      trace_path = need_value(i++);
+      ok = !trace_path.empty();
+    } else if (arg == "--trace-wallclock") {
+      spec.trace_wallclock = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -301,6 +386,12 @@ int main(int argc, char** argv) {
   }
 
   spec.seeds = runtime::ExperimentSpec::seed_range(seed_base, num_seeds);
+  spec.metrics = !metrics_path.empty();
+  spec.tracing = !trace_path.empty();
+  if (spec.trace_wallclock && trace_path.empty()) {
+    std::fprintf(stderr, "error: --trace-wallclock needs --trace FILE\n");
+    return 2;
+  }
 
   if (degradation && !spec.chaos && spec.fault_plan.empty()) {
     std::fprintf(stderr,
@@ -337,29 +428,58 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  // Manifests are stamped here, at the CLI layer only: the library CSV
+  // renderers (Aggregator, verdict_csv, trust_csv) stay manifest-free so
+  // golden fixtures and record/replay byte-comparisons never see them.
+  const auto manifest = build_manifest(spec, seed_base, threads, confidence);
+
   runtime::Aggregator aggregator{confidence};
   std::string output;
   if (degradation) {
-    output =
-        runtime::Aggregator::degradation_csv(aggregator.degradation(results));
+    output = manifest.comment_header() +
+             runtime::Aggregator::degradation_csv(aggregator.degradation(results));
   } else if (per_round) {
-    output = runtime::Aggregator::per_round_csv(aggregator.per_round(results));
+    output = manifest.comment_header() +
+             runtime::Aggregator::per_round_csv(aggregator.per_round(results));
   } else {
     const auto rows = aggregator.aggregate(results);
-    output = format == "json" ? runtime::Aggregator::to_json(rows)
-                              : runtime::Aggregator::to_csv(rows);
+    output = format == "json"
+                 ? "{\"manifest\":" + manifest.json_object() +
+                       ",\"results\":" + runtime::Aggregator::to_json(rows) +
+                       "}\n"
+                 : manifest.comment_header() +
+                       runtime::Aggregator::to_csv(rows);
   }
 
   if (out_path.empty()) {
     std::fputs(output.c_str(), stdout);
-  } else {
-    std::FILE* f = std::fopen(out_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "error: cannot open '%s'\n", out_path.c_str());
+  } else if (!write_file(out_path, output)) {
+    return 1;
+  }
+
+  // Observability exposition, written before the safety audits below so a
+  // failing run still leaves its metrics and flight-recorder dump behind.
+  if (!metrics_path.empty()) {
+    obs::MetricsSnapshot merged;
+    for (const auto& r : results) merged.merge(r.metrics);
+    if (!write_file(metrics_path,
+                    merged.to_prometheus(manifest.comment_header())))
       return 1;
+  }
+  if (!trace_path.empty()) {
+    std::vector<std::pair<std::uint64_t, std::vector<obs::TraceEvent>>> groups;
+    groups.reserve(results.size());
+    std::uint64_t dropped = 0;
+    for (const auto& r : results) {
+      groups.emplace_back(r.task_index, r.trace);
+      dropped += r.trace_dropped;
     }
-    std::fputs(output.c_str(), f);
-    std::fclose(f);
+    if (!write_file(trace_path, obs::trace_json_multi(groups))) return 1;
+    if (dropped > 0 && !quiet)
+      std::fprintf(stderr,
+                   "note: flight recorder dropped %llu event(s) to ring wrap "
+                   "(oldest first)\n",
+                   static_cast<unsigned long long>(dropped));
   }
 
   if (!quiet)
